@@ -1,0 +1,245 @@
+(* The dumbnet command-line tool: build topologies, run discovery,
+   simulate traffic with failures, and launch the evaluation harness —
+   the operator-facing face of the library. *)
+
+open Cmdliner
+open Dumbnet.Topology
+module Fabric = Dumbnet.Fabric
+module Agent = Dumbnet.Host.Agent
+module Discovery = Dumbnet.Control.Discovery
+
+(* --- shared topology argument --- *)
+
+let build_topology spec seed =
+  match String.split_on_char ':' spec with
+  | [ "figure1" ] -> Ok (Builder.figure1 ())
+  | [ "testbed" ] -> Ok (Builder.testbed ())
+  | [ "leaf-spine"; s; l; h ] -> (
+    match (int_of_string_opt s, int_of_string_opt l, int_of_string_opt h) with
+    | Some spines, Some leaves, Some hosts_per_leaf ->
+      Ok (Builder.leaf_spine ~spines ~leaves ~hosts_per_leaf ())
+    | _ -> Error "leaf-spine wants three integers: spines:leaves:hosts")
+  | [ "fat-tree"; k ] -> (
+    match int_of_string_opt k with
+    | Some k -> Ok (Builder.fat_tree ~k ())
+    | None -> Error "fat-tree wants an integer k")
+  | [ "cube"; n ] -> (
+    match int_of_string_opt n with
+    | Some n -> Ok (Builder.cube ~n ~controller_at:`Corner ())
+    | None -> Error "cube wants an integer edge length")
+  | [ "random"; sw; d ] -> (
+    match (int_of_string_opt sw, int_of_string_opt d) with
+    | Some switches, Some degree ->
+      Ok
+        (Builder.random_regular
+           ~rng:(Dumbnet.Util.Rng.create seed)
+           ~switches ~degree ~hosts_per_switch:1 ())
+    | _ -> Error "random wants switches:degree")
+  | [ "linear"; n ] -> (
+    match int_of_string_opt n with
+    | Some n -> Ok (Builder.linear ~n ())
+    | None -> Error "linear wants an integer length")
+  | [ "star"; l ] -> (
+    match int_of_string_opt l with
+    | Some leaves -> Ok (Builder.star ~leaves ())
+    | None -> Error "star wants an integer leaf count")
+  | _ ->
+    Error
+      "unknown topology; try figure1, testbed, leaf-spine:S:L:H, fat-tree:K, cube:N, \
+       random:N:D, linear:N, star:L"
+
+let topo_conv =
+  let parse s = Ok s in
+  Arg.conv ((fun s -> parse s), fun ppf s -> Format.pp_print_string ppf s)
+
+let topo_arg =
+  let doc =
+    "Topology: figure1 | testbed | leaf-spine:S:L:H | fat-tree:K | cube:N | random:N:D | \
+     linear:N."
+  in
+  Arg.(value & opt topo_conv "testbed" & info [ "t"; "topology" ] ~docv:"TOPO" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic random seed.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log control-plane events to stderr.")
+
+let apply_verbosity v =
+  if v then Dumbnet.Util.Logging.setup ~level:Logs.Debug ()
+
+let with_topology spec seed f =
+  match build_topology spec seed with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Ok built -> f built
+
+(* --- topo subcommand --- *)
+
+let topo_run spec seed =
+  with_topology spec seed (fun built ->
+      let g = built.Builder.graph in
+      Printf.printf "switches: %d\nhosts:    %d\nlinks:    %d\ncontroller: H%d\n"
+        (Graph.num_switches g) (Graph.num_hosts g)
+        (List.length (Graph.switch_links g))
+        built.Builder.controller;
+      Format.printf "%a@." Graph.pp g;
+      0)
+
+let topo_cmd =
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Build a topology and print its structure.")
+    Term.(const topo_run $ topo_arg $ seed_arg)
+
+(* --- discover subcommand --- *)
+
+let discover_run spec seed packet_level =
+  with_topology spec seed (fun built ->
+      let t0 = Unix.gettimeofday () in
+      let fab = Fabric.create ~seed ~packet_level_discovery:packet_level built in
+      let d = Fabric.discovery fab in
+      let s = d.Discovery.stats in
+      Printf.printf
+        "probes sent:    %d\nverifications:  %d\nswitches found: %d\nlinks found:    %d\n\
+         hosts found:    %d\nexact match:    %b\nmodelled time:  %.2f s\nwall time:      %.2f s\n"
+        s.Discovery.probes_sent s.Discovery.verifications s.Discovery.switches_found
+        s.Discovery.links_found s.Discovery.hosts_found
+        (Graph.equal d.Discovery.topology built.Builder.graph)
+        (float_of_int (Discovery.time_ns s) /. 1e9)
+        (Unix.gettimeofday () -. t0);
+      0)
+
+let packet_level_arg =
+  Arg.(
+    value & flag
+    & info [ "packet-level" ]
+        ~doc:"Send real probe frames through the simulator instead of the fast oracle.")
+
+let discover_cmd =
+  Cmd.v
+    (Cmd.info "discover" ~doc:"Run host-driven topology discovery and report statistics.")
+    Term.(const discover_run $ topo_arg $ seed_arg $ packet_level_arg)
+
+(* --- simulate subcommand --- *)
+
+let simulate_run spec seed duration_ms fail_after_ms verbose =
+  apply_verbosity verbose;
+  with_topology spec seed (fun built ->
+      let fab = Fabric.create ~seed built in
+      let hosts = Array.of_list built.Builder.hosts in
+      let rng = Dumbnet.Util.Rng.create (seed + 1) in
+      let eng = Fabric.engine fab in
+      let t0 = Fabric.now_ns fab in
+      (* Random pairwise chatter for the whole window. *)
+      let rec chatter () =
+        let src = Dumbnet.Util.Rng.pick_array rng hosts in
+        let dst = Dumbnet.Util.Rng.pick_array rng hosts in
+        if src <> dst then
+          ignore (Fabric.send fab ~src ~dst ~flow:(Dumbnet.Util.Rng.int rng 64) ~size:1450 ());
+        if Fabric.now_ns fab < t0 + (duration_ms * 1_000_000) then
+          Dumbnet.Sim.Engine.schedule eng ~delay_ns:50_000 chatter
+      in
+      Dumbnet.Sim.Engine.schedule eng ~delay_ns:0 chatter;
+      (match fail_after_ms with
+      | Some ms ->
+        Dumbnet.Sim.Engine.schedule_at eng ~at_ns:(t0 + (ms * 1_000_000)) (fun () ->
+            let links =
+              List.filter snd (Graph.switch_links (Dumbnet.Sim.Network.graph (Fabric.network fab)))
+            in
+            match links with
+            | [] -> ()
+            | _ ->
+              let key, _ = List.nth links (Dumbnet.Util.Rng.int rng (List.length links)) in
+              let a, b = Types.Link_key.ends key in
+              Format.printf ">>> failing %a<->%a at %d ms@." Types.pp_link_end a
+                Types.pp_link_end b ms;
+              Fabric.fail_link fab a)
+      | None -> ());
+      Fabric.run fab;
+      let sent, received, queries, floods =
+        Array.fold_left
+          (fun (s, r, q, f) h ->
+            let st = Agent.stats (Fabric.agent fab h) in
+            ( s + st.Agent.data_sent,
+              r + st.Agent.data_received,
+              q + st.Agent.queries_sent,
+              f + st.Agent.floods_sent ))
+          (0, 0, 0, 0) hosts
+      in
+      let net = Dumbnet.Sim.Network.stats (Fabric.network fab) in
+      Printf.printf
+        "data sent:      %d\ndata delivered: %d\npath queries:   %d\nhost floods:    %d\n\
+         queue drops:    %d\nswitch hops:    %d\n"
+        sent received queries floods net.Dumbnet.Sim.Network.queue_drops
+        net.Dumbnet.Sim.Network.switch_hops;
+      print_endline "hottest egress ports (stateless per-port counters):";
+      List.iter
+        (fun ((le : Types.link_end), bytes) ->
+          Printf.printf "  S%d port %d: %d bytes\n" le.sw le.port bytes)
+        (Dumbnet.Sim.Network.busiest_ports (Fabric.network fab) ~top:3);
+      0)
+
+let duration_arg =
+  Arg.(value & opt int 50 & info [ "d"; "duration" ] ~docv:"MS" ~doc:"Simulated milliseconds.")
+
+let fail_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fail-after" ] ~docv:"MS" ~doc:"Cut a random fabric link after MS milliseconds.")
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Drive random traffic over a fabric, optionally with a failure.")
+    Term.(const simulate_run $ topo_arg $ seed_arg $ duration_arg $ fail_arg $ verbose_arg)
+
+(* --- bench subcommand --- *)
+
+let bench_run names =
+  let experiments =
+    [
+      ("fig7", Dumbnet_experiments.Fig7.run);
+      ("table1", Dumbnet_experiments.Table1.run);
+      ("fig8", Dumbnet_experiments.Fig8.run);
+      ("fig9", Dumbnet_experiments.Fig9.run);
+      ("aggregate", Dumbnet_experiments.Aggregate.run);
+      ("fig10", Dumbnet_experiments.Fig10.run);
+      ("table2", Dumbnet_experiments.Table2.run);
+      ("fig11a", Dumbnet_experiments.Fig11a.run);
+      ("fig11b", Dumbnet_experiments.Fig11b.run);
+      ("fig12", Dumbnet_experiments.Fig12.run);
+      ("fig13", Dumbnet_experiments.Fig13.run);
+      ("ablations", Dumbnet_experiments.Ablations.run);
+    ]
+  in
+  match names with
+  | [] ->
+    List.iter (fun (_, f) -> f ()) experiments;
+    0
+  | names ->
+    List.fold_left
+      (fun rc name ->
+        match List.assoc_opt name experiments with
+        | Some f ->
+          f ();
+          rc
+        | None ->
+          Printf.eprintf "unknown experiment %S\n" name;
+          1)
+      0 names
+
+let bench_names_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiments to run (all if none).")
+
+let bench_cmd =
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Reproduce the paper's tables and figures (same as bench/main.exe).")
+    Term.(const bench_run $ bench_names_arg)
+
+let () =
+  let info =
+    Cmd.info "dumbnet" ~version:"1.0.0"
+      ~doc:"A stateless source-routed data center fabric (EuroSys'18 reproduction)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ topo_cmd; discover_cmd; simulate_cmd; bench_cmd ]))

@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Builder Dumbnet Fabric Host List Packet Path Printf Sim String Topology Types Workload

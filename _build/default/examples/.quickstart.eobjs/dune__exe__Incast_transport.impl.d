@@ -1,0 +1,1 @@
+examples/incast_transport.ml: Builder Dumbnet Ext Fabric Host List Option Printf Sim Topology

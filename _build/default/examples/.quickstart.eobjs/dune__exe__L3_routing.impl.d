@@ -1,0 +1,1 @@
+examples/l3_routing.ml: Builder Dumbnet Ext Fabric Format Graph Host List Packet Path Printf Topology

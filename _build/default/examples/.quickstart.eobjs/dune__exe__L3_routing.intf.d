@@ -1,0 +1,1 @@
+examples/l3_routing.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Control Dumbnet Fabric Format Graph Host List Path Printf String Topology

@@ -1,0 +1,1 @@
+examples/traffic_engineering.ml: Builder Dumbnet Ext Fabric Hashtbl Host List Option Path Printf Sim Topology Workload

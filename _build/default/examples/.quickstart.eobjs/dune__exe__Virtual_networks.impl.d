@@ -1,0 +1,1 @@
+examples/virtual_networks.ml: Array Builder Dumbnet Ext Fabric Format Graph Host List Option Path Pathgraph Printf Routing String Topology Types

@@ -1,0 +1,78 @@
+(* Failure recovery under live traffic (paper §4.2).
+
+   A leaf-spine fabric carries a saturating flow; we cut the spine link
+   it rides and watch the two-stage protocol: the switch's hop-limited
+   port notice, the host flood, the local failover to a cached
+   alternative, and the controller's asynchronous topology patch. Then
+   the link comes back and the fabric heals.
+
+   Run with: dune exec examples/failure_recovery.exe *)
+
+open Dumbnet
+open Topology
+module Network = Sim.Network
+module Engine = Sim.Engine
+module Agent = Host.Agent
+module Runner = Workload.Runner
+module Flow = Workload.Flow
+
+let () =
+  print_endline "== DumbNet failure recovery ==";
+  let built = Builder.leaf_spine ~spines:2 ~leaves:3 ~hosts_per_leaf:3 () in
+  let config = { Network.default_config with bandwidth_gbps = 1.0 } in
+  let fab = Fabric.create ~config ~seed:3 built in
+  let src = List.nth built.Builder.hosts 1 in
+  let dst = List.nth built.Builder.hosts 7 in
+  Printf.printf "flow: H%d -> H%d on a 2-spine/3-leaf fabric at 1 Gbps\n" src dst;
+
+  (* Narrate the control plane as it happens. *)
+  let t_fail = ref max_int in
+  List.iter
+    (fun h ->
+      if h <> built.Builder.controller then begin
+        let agent = Fabric.agent fab h in
+        Agent.set_event_hook agent (fun e ->
+            Printf.printf "  [%6.2f ms] H%d heard stage-1 notice: S%d port %d %s\n"
+              (float_of_int (Fabric.now_ns fab - !t_fail) /. 1e6)
+              h e.Packet.Payload.position.sw e.Packet.Payload.position.port
+              (if e.Packet.Payload.up then "up" else "DOWN"));
+        Agent.set_patch_hook agent (fun ~version changes ->
+            Printf.printf "  [%6.2f ms] H%d got stage-2 patch v%d (%d changes)\n"
+              (float_of_int (Fabric.now_ns fab - !t_fail) /. 1e6)
+              h version (List.length changes))
+      end)
+    built.Builder.hosts;
+
+  let t0 = Fabric.now_ns fab in
+  let flows = [ Flow.make ~id:0 ~src ~dst ~bytes:max_int ~start_ns:t0 () ] in
+  let eng = Fabric.engine fab in
+  let failed : Types.link_end option ref = ref None in
+  Engine.schedule_at eng ~at_ns:(t0 + 30_000_000) (fun () ->
+      match Host.Pathtable.choose (Agent.pathtable (Fabric.agent fab src)) ~dst ~flow:0 with
+      | Some { Path.hops = (sw, port) :: _; _ } ->
+        t_fail := Fabric.now_ns fab;
+        failed := Some { sw; port };
+        Printf.printf "\n>>> cutting S%d port %d at t=30 ms\n" sw port;
+        Fabric.fail_link fab { sw; port }
+      | Some _ | None -> ());
+  Engine.schedule_at eng ~at_ns:(t0 + 80_000_000) (fun () ->
+      match !failed with
+      | Some le ->
+        Printf.printf "\n>>> restoring S%d port %d at t=80 ms\n" le.sw le.port;
+        Fabric.restore_link fab le
+      | None -> ());
+  let result =
+    Runner.run
+      ~pacing:{ Runner.default_pacing with packet_gap_ns = 12_000; burst_bytes = max_int }
+      ~deadline_ns:(t0 + 120_000_000) ~engine:eng ~agent_of:(Fabric.agent fab) ~flows ()
+  in
+  print_newline ();
+  print_endline "throughput (10 ms bins):";
+  List.iter
+    (fun (at, gbps) ->
+      let bar = String.make (int_of_float (gbps *. 40.)) '#' in
+      Printf.printf "  t=%3d ms  %5.0f Mbps  %s\n" ((at - t0) / 1_000_000) (gbps *. 1e3) bar)
+    (Runner.throughput_series ~bin_ns:10_000_000 ~from_ns:t0 ~to_ns:(t0 + 120_000_000)
+       result.Runner.arrivals);
+  print_endline "\nthe dip at 30 ms lasts one bin: hosts switch to cached paths as soon as";
+  print_endline "the stage-1 flood lands, long before the controller patch."

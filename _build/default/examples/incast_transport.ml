@@ -1,0 +1,72 @@
+(* Receiver-driven transport under incast (paper §6.1's pHost).
+
+   Nine senders dump a burst at one receiver. With plain blasting the
+   receiver's access link queue overflows and most of the burst is lost
+   (no retransmission here — think of it as TCP's nightmare). With the
+   pHost-style extension, each sender first announces its flow (RTS)
+   and the receiver paces token grants round-robin at its own downlink
+   rate: same hardware, zero drops.
+
+   Run with: dune exec examples/incast_transport.exe *)
+
+open Dumbnet
+open Topology
+module Network = Sim.Network
+module Agent = Host.Agent
+module Phost = Ext.Phost
+
+let flow_bytes = 512 * 1024
+
+let build () =
+  let built = Builder.leaf_spine ~spines:2 ~leaves:5 ~hosts_per_leaf:2 () in
+  (* Small switch buffers, like real shallow-buffer data center gear. *)
+  let config = { Network.default_config with queue_bytes = 60_000 } in
+  let fab = Fabric.create ~config ~seed:19 built in
+  let hosts = built.Builder.hosts in
+  let target = List.nth hosts (List.length hosts - 1) in
+  let sources = List.filter (fun h -> h <> target) hosts in
+  (fab, sources, target)
+
+let () =
+  print_endline "== 9-to-1 incast: naive blast vs pHost-style tokens ==";
+
+  (* Round 1: everyone blasts at NIC speed. *)
+  let fab, sources, target = build () in
+  List.iteri
+    (fun i src ->
+      for seq = 0 to (flow_bytes / 1450) - 1 do
+        ignore (Fabric.send fab ~src ~dst:target ~flow:i ~seq ~size:1450 ())
+      done)
+    sources;
+  Fabric.run fab;
+  let st = Network.stats (Fabric.network fab) in
+  let received = (Agent.stats (Fabric.agent fab target)).Agent.bytes_received in
+  Printf.printf "\nnaive blast:  %d of %d bytes arrived, %d packets dropped in queues\n"
+    received
+    (List.length sources * flow_bytes)
+    st.Network.queue_drops;
+
+  (* Round 2: same burst through the receiver-driven transport. *)
+  let fab, sources, target = build () in
+  let instances = List.map (fun h -> (h, Phost.create ())) (target :: sources) in
+  List.iter (fun (h, p) -> Phost.enable p (Fabric.agent fab h)) instances;
+  let receiver = List.assoc target instances in
+  let t0 = Fabric.now_ns fab in
+  List.iteri
+    (fun i src ->
+      Phost.send_flow (List.assoc src instances) (Fabric.agent fab src) ~dst:target ~flow:i
+        ~bytes:flow_bytes)
+    sources;
+  Fabric.run fab;
+  let st = Network.stats (Fabric.network fab) in
+  let last =
+    List.fold_left
+      (fun acc i -> max acc (Option.value ~default:0 (Phost.completion_ns receiver ~flow:i)))
+      0
+      (List.mapi (fun i _ -> i) sources)
+  in
+  Printf.printf "pHost tokens: all %d flows complete in %.1f ms, %d drops, %d tokens granted\n"
+    (List.length sources)
+    (float_of_int (last - t0) /. 1e6)
+    st.Network.queue_drops (Phost.tokens_sent receiver);
+  print_endline "\nthe receiver schedules its own downlink; switches stay dumb."

@@ -1,0 +1,1 @@
+lib/baseline/ecmp.ml: Dumbnet_host Dumbnet_topology Graph Hashtbl List Path Routing Types

@@ -1,0 +1,1 @@
+lib/baseline/ecmp.mli: Dumbnet_host Dumbnet_topology Graph Path Types

@@ -1,0 +1,1 @@
+lib/baseline/stp.ml: Dumbnet_host Dumbnet_sim Dumbnet_topology Graph Hashtbl Link_key Link_set List Option Path Queue Types

@@ -1,0 +1,1 @@
+lib/baseline/stp.mli: Dumbnet_host Dumbnet_topology Graph Link_key Path Types

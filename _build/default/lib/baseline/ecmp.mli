@@ -1,0 +1,26 @@
+(** Conventional equal-cost multi-path baseline.
+
+    Models a traditional converged L2/L3 fabric: every flow is hashed
+    onto one of the equal-cost shortest paths between its endpoints, no
+    flowlets, no per-host path caches — the comparison point for the
+    Fig 13 "no-op DPDK" network and for the TE ablation. *)
+
+open Dumbnet_topology
+open Types
+
+val equal_cost_paths : ?cap:int -> Graph.t -> src:host_id -> dst:host_id -> Path.t list
+(** All shortest paths (up to [cap], default 16), deterministic order. *)
+
+val choose : flow:int -> Path.t list -> Path.t option
+(** Flow-hash selection — stable per flow like switch ECMP. *)
+
+type t
+
+val create : Graph.t -> t
+(** A per-fabric ECMP context with a (src, dst) path cache. *)
+
+val invalidate : t -> unit
+(** Drop the cache (after a topology change). *)
+
+val routing_fn : t -> Dumbnet_host.Agent.routing_fn
+(** Install on agents to model hosts in a conventional fabric. *)

@@ -1,0 +1,109 @@
+open Dumbnet_topology
+open Types
+
+type t = {
+  root : switch_id;
+  (* Child -> (child's uplink port, parent, parent's port); absent for
+     the root. *)
+  parent : (switch_id, port * switch_id * port) Hashtbl.t;
+  depth : (switch_id, int) Hashtbl.t;
+  (* Tree adjacency snapshot taken at build time: forwarding keeps
+     using it until the modelled re-convergence replaces the tree. *)
+  adj : (switch_id, (port * switch_id * port) list) Hashtbl.t;
+  tree : Link_set.t;
+  host_loc : (host_id, link_end) Hashtbl.t;
+}
+
+let build g =
+  match Graph.switch_ids g with
+  | [] -> invalid_arg "Stp.build: no switches"
+  | root :: _ ->
+    let parent = Hashtbl.create 64 in
+    let depth = Hashtbl.create 64 in
+    let adj = Hashtbl.create 64 in
+    let tree = ref Link_set.empty in
+    Hashtbl.replace depth root 0;
+    let q = Queue.create () in
+    Queue.add root q;
+    while not (Queue.is_empty q) do
+      let sw = Queue.pop q in
+      let d = Hashtbl.find depth sw in
+      (* Deterministic: neighbours in increasing port order, like the
+         lowest-port tie-break of the standard. *)
+      List.iter
+        (fun (out, peer, peer_in) ->
+          if not (Hashtbl.mem depth peer) then begin
+            Hashtbl.replace depth peer (d + 1);
+            Hashtbl.replace parent peer (peer_in, sw, out);
+            tree :=
+              Link_set.add
+                (Link_key.make { sw; port = out } { sw = peer; port = peer_in })
+                !tree;
+            let add a entry =
+              Hashtbl.replace adj a (entry :: Option.value ~default:[] (Hashtbl.find_opt adj a))
+            in
+            add sw (out, peer, peer_in);
+            add peer (peer_in, sw, out);
+            Queue.add peer q
+          end)
+        (Graph.switch_neighbors g sw)
+    done;
+    let host_loc = Hashtbl.create 64 in
+    List.iter
+      (fun h ->
+        match Graph.host_location g h with
+        | Some loc when Graph.link_up g loc -> Hashtbl.replace host_loc h loc
+        | Some _ | None -> ())
+      (Graph.host_ids g);
+    { root; parent; depth; adj; tree = !tree; host_loc }
+
+let root t = t.root
+
+let tree_links t = Link_set.elements t.tree
+
+let blocks t key = not (Link_set.mem key t.tree)
+
+let tree_adjacency t sw = Option.value ~default:[] (Hashtbl.find_opt t.adj sw)
+
+(* Climb both endpoints to their lowest common ancestor. *)
+let switch_route t a b =
+  let rec ancestors sw acc =
+    match Hashtbl.find_opt t.parent sw with
+    | None -> sw :: acc
+    | Some (_, p, _) -> ancestors p (sw :: acc)
+  in
+  if not (Hashtbl.mem t.depth a && Hashtbl.mem t.depth b) then None
+  else begin
+    let pa = ancestors a [] and pb = ancestors b [] in
+    (* pa, pb run root..endpoint; strip the common prefix. *)
+    let rec strip lca = function
+      | x :: xs, y :: ys when x = y -> strip (Some x) (xs, ys)
+      | rest -> (lca, rest)
+    in
+    match strip None (pa, pb) with
+    | Some lca, (da, db) -> Some (List.rev da @ [ lca ] @ db)
+    | None, _ -> None
+  end
+
+let path t g ~src ~dst =
+  if src = dst then None
+  else
+    match (Hashtbl.find_opt t.host_loc src, Hashtbl.find_opt t.host_loc dst) with
+    | Some src_loc, Some dst_loc -> (
+      ignore g;
+      match switch_route t src_loc.sw dst_loc.sw with
+      | None -> None
+      | Some route ->
+        Path.of_route ~adj:(tree_adjacency t) ~src ~src_loc ~dst ~dst_loc route)
+    | None, _ | _, None -> None
+
+let routing_fn tref agent ~now_ns:_ ~dst ~flow:_ =
+  let g = Dumbnet_sim.Network.graph (Dumbnet_host.Agent.network agent) in
+  path !tref g ~src:(Dumbnet_host.Agent.self agent) ~dst
+
+let bpdu_round_ns = 8_000_000
+
+let convergence_delay_ns g =
+  let t = build g in
+  let max_depth = Hashtbl.fold (fun _ d acc -> max d acc) t.depth 0 in
+  (max_depth + 2) * bpdu_round_ns

@@ -1,0 +1,1 @@
+lib/control/discovery.ml: Dumbnet_packet Dumbnet_topology Graph Hashtbl List Option Probe_walk Queue Tag Types

@@ -1,0 +1,1 @@
+lib/control/discovery.mli: Dumbnet_packet Dumbnet_topology Graph Probe_walk Tag Types

@@ -1,0 +1,1 @@
+lib/control/event_dedup.ml: Dumbnet_packet Dumbnet_topology Hashtbl Option Payload

@@ -1,0 +1,1 @@
+lib/control/event_dedup.mli: Dumbnet_packet Payload

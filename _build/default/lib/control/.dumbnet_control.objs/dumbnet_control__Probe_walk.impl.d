@@ -1,0 +1,1 @@
+lib/control/probe_walk.ml: Dumbnet_packet Dumbnet_topology Graph Tag Types

@@ -1,0 +1,1 @@
+lib/control/topo_store.ml: Dumbnet_packet Dumbnet_topology Event_dedup Graph List Pathgraph Payload Types

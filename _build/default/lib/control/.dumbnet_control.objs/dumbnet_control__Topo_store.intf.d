@@ -1,0 +1,1 @@
+lib/control/topo_store.mli: Dumbnet_packet Dumbnet_topology Dumbnet_util Graph Pathgraph Payload Types

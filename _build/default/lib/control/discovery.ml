@@ -1,0 +1,240 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type prober = Tag.t list -> Probe_walk.response
+
+type stats = {
+  probes_sent : int;
+  verifications : int;
+  switches_found : int;
+  links_found : int;
+  hosts_found : int;
+}
+
+type result = {
+  topology : Graph.t;
+  own_switch : switch_id;
+  own_port : port;
+  host_locations : (host_id * link_end) list;
+  controller_hint : host_id option;
+  stats : stats;
+}
+
+type state = {
+  prober : prober;
+  max_ports : int;
+  model : Graph.t;
+  fwd : (switch_id, port list) Hashtbl.t; (* tags from origin's switch to S *)
+  ret : (switch_id, port list) Hashtbl.t; (* tags from S back to origin *)
+  ret_counts : (port list, int) Hashtbl.t; (* how many switches share a return path *)
+  mutable probes : int;
+  mutable verifs : int;
+  mutable links : int;
+  mutable hosts : (host_id * link_end) list;
+  mutable hint : host_id option;
+}
+
+let tags ports = List.map Tag.forward ports @ [ Tag.End_of_path ]
+
+let send st t =
+  st.probes <- st.probes + 1;
+  st.prober t
+
+(* Bootstrap: find the origin's own port by bouncing [p·ø], then learn
+   the local switch ID with [0·p·ø]. *)
+let bootstrap st =
+  let rec find_port p =
+    if p > st.max_ports then None
+    else
+      match send st (tags [ p ]) with
+      | Probe_walk.Bounced -> Some p
+      | Probe_walk.Host_reply _ | Probe_walk.Switch_id _ | Probe_walk.Lost -> find_port (p + 1)
+  in
+  match find_port 1 with
+  | None -> None
+  | Some own_port -> (
+    match send st (Tag.Id_query :: tags [ own_port ]) with
+    | Probe_walk.Switch_id own_switch -> Some (own_switch, own_port)
+    | Probe_walk.Bounced | Probe_walk.Host_reply _ | Probe_walk.Lost -> None)
+
+let note_ret st r =
+  Hashtbl.replace st.ret_counts r (1 + Option.value ~default:0 (Hashtbl.find_opt st.ret_counts r))
+
+let ambiguous st r = Option.value ~default:0 (Hashtbl.find_opt st.ret_counts r) > 1
+
+let register_switch st sw ~fwd ~ret =
+  Graph.add_switch_with_id st.model ~id:sw ~ports:st.max_ports;
+  Hashtbl.replace st.fwd sw fwd;
+  Hashtbl.replace st.ret sw ret;
+  note_ret st ret
+
+let register_host st ~origin h le =
+  if h <> origin && not (List.mem_assoc h st.hosts) then begin
+    Graph.add_host_with_id st.model ~id:h;
+    Graph.attach_host st.model h le;
+    st.hosts <- (h, le) :: st.hosts
+  end
+
+let port_free st le = Graph.endpoint_at st.model le = None
+
+(* Scan one frontier switch: every port gets a host probe and a
+   neighbour probe per candidate return port. *)
+let scan_switch ~verify ~origin st s =
+  let f = Hashtbl.find st.fwd s and r = Hashtbl.find st.ret s in
+  let discovered = ref [] in
+  for p = 1 to st.max_ports do
+    if port_free st { sw = s; port = p } then begin
+      (match send st (tags (f @ [ p ] @ r)) with
+      | Probe_walk.Host_reply { responder; knows_controller } ->
+        register_host st ~origin responder { sw = s; port = p };
+        if st.hint = None then st.hint <- knows_controller
+      | Probe_walk.Bounced | Probe_walk.Switch_id _ | Probe_walk.Lost -> ());
+      if port_free st { sw = s; port = p } then begin
+        let q = ref 1 in
+        while !q <= st.max_ports && port_free st { sw = s; port = p } do
+          (* F·p·0·q·R·ø: query the ID of the switch behind port p and
+             route the answer out its port q, then along R. *)
+          (match
+             send st
+               (List.map Tag.forward f
+               @ [ Tag.forward p; Tag.Id_query; Tag.forward !q ]
+               @ tags r)
+           with
+          | Probe_walk.Switch_id x ->
+            let confirmed =
+              if x = s then false (* a self-loop cannot be a real cable *)
+              else if verify = `Always || ambiguous st r then begin
+                st.verifs <- st.verifs + 1;
+                (* F·p·q·0·R·ø must name this very switch. *)
+                send st
+                  (List.map Tag.forward f
+                  @ [ Tag.forward p; Tag.forward !q; Tag.Id_query ]
+                  @ tags r)
+                = Probe_walk.Switch_id s
+              end
+              else true
+            in
+            if confirmed then begin
+              let known = Hashtbl.mem st.fwd x in
+              if not known then register_switch st x ~fwd:(f @ [ p ]) ~ret:(!q :: r);
+              if port_free st { sw = x; port = !q } then begin
+                Graph.connect st.model { sw = s; port = p } { sw = x; port = !q };
+                st.links <- st.links + 1
+              end;
+              if not known then discovered := x :: !discovered
+            end
+          | Probe_walk.Bounced | Probe_walk.Host_reply _ | Probe_walk.Lost -> ());
+          incr q
+        done
+      end
+    end
+  done;
+  List.rev !discovered
+
+let finish st ~own_switch ~own_port ~origin =
+  Graph.add_host_with_id st.model ~id:origin;
+  Graph.attach_host st.model origin { sw = own_switch; port = own_port };
+  {
+    topology = st.model;
+    own_switch;
+    own_port;
+    host_locations = List.rev st.hosts;
+    controller_hint = st.hint;
+    stats =
+      {
+        probes_sent = st.probes;
+        verifications = st.verifs;
+        switches_found = Graph.num_switches st.model;
+        links_found = st.links;
+        hosts_found = List.length st.hosts;
+      };
+  }
+
+let make_state ~prober ~max_ports =
+  {
+    prober;
+    max_ports;
+    model = Graph.create ();
+    fwd = Hashtbl.create 64;
+    ret = Hashtbl.create 64;
+    ret_counts = Hashtbl.create 64;
+    probes = 0;
+    verifs = 0;
+    links = 0;
+    hosts = [];
+    hint = None;
+  }
+
+let run ?(verify = `When_ambiguous) ?(stop_at_controller = false) ~prober ~origin ~max_ports () =
+  let st = make_state ~prober ~max_ports in
+  match bootstrap st with
+  | None -> None
+  | Some (own_switch, own_port) ->
+    register_switch st own_switch ~fwd:[] ~ret:[ own_port ];
+    let queue = Queue.create () in
+    Queue.add own_switch queue;
+    let stop () = stop_at_controller && st.hint <> None in
+    while (not (Queue.is_empty queue)) && not (stop ()) do
+      let s = Queue.pop queue in
+      List.iter (fun x -> Queue.add x queue) (scan_switch ~verify ~origin st s)
+    done;
+    Some (finish st ~own_switch ~own_port ~origin)
+
+let verify_with_prior ~prober ~origin ~expected =
+  let max_ports =
+    List.fold_left (fun acc sw -> max acc (Graph.ports_of expected sw)) 1
+      (Graph.switch_ids expected)
+  in
+  let st = make_state ~prober ~max_ports in
+  match bootstrap st with
+  | None -> None
+  | Some (own_switch, own_port) ->
+    register_switch st own_switch ~fwd:[] ~ret:[ own_port ];
+    let queue = Queue.create () in
+    Queue.add own_switch queue;
+    while not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      let f = Hashtbl.find st.fwd s and r = Hashtbl.find st.ret s in
+      (* Hosts first: one targeted probe per expected host port. *)
+      List.iter
+        (fun (p, _) ->
+          if port_free st { sw = s; port = p } then begin
+            match send st (tags (f @ [ p ] @ r)) with
+            | Probe_walk.Host_reply { responder; knows_controller } ->
+              register_host st ~origin responder { sw = s; port = p };
+              if st.hint = None then st.hint <- knows_controller
+            | Probe_walk.Bounced | Probe_walk.Switch_id _ | Probe_walk.Lost -> ()
+          end)
+        (Graph.hosts_on_switch expected s);
+      (* Then one confirmation probe per expected switch link. *)
+      List.iter
+        (fun (p, x, q) ->
+          if port_free st { sw = s; port = p } then begin
+            st.verifs <- st.verifs + 1;
+            match
+              send st
+                (List.map Tag.forward f
+                @ [ Tag.forward p; Tag.Id_query; Tag.forward q ]
+                @ tags r)
+            with
+            | Probe_walk.Switch_id x' when x' = x ->
+              let known = Hashtbl.mem st.fwd x in
+              if not known then register_switch st x ~fwd:(f @ [ p ]) ~ret:(q :: r);
+              if port_free st { sw = x; port = q } then begin
+                Graph.connect st.model { sw = s; port = p } { sw = x; port = q };
+                st.links <- st.links + 1
+              end;
+              if not known then Queue.add x queue
+            | Probe_walk.Switch_id _ | Probe_walk.Bounced | Probe_walk.Host_reply _
+            | Probe_walk.Lost ->
+              ()
+          end)
+        (Graph.switch_neighbors expected s)
+    done;
+    Some (finish st ~own_switch ~own_port ~origin)
+
+(* 70 s / (500 switches x 64^2 probes) from Fig 8's largest point. *)
+let emulation_pm_cost_ns = 34_000
+
+let time_ns stats = stats.probes_sent * emulation_pm_cost_ns

@@ -1,0 +1,65 @@
+(** Host-driven topology discovery (paper §4.1).
+
+    A breadth-first search run entirely from one host with probe
+    messages: find the local port (bounce), query the local switch ID
+    (tag 0), then for each frontier switch scan every port for hosts
+    ([F·p·R·ø], so a host there can reply along the leftover [R·ø]) and
+    for neighbour switches ([F·p·0·q·R·ø], the ID query answered by the
+    switch behind port [p]). Candidate links are confirmed with the
+    paper's ambiguity-resolution probe [F·p·q·0·R·ø], which must name
+    the frontier switch itself.
+
+    The prober is abstract: {!Probe_walk.probe} gives a fast synchronous
+    oracle at emulation scale, and the packet-level host agent provides
+    one that sends real frames through the simulator. *)
+
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type prober = Tag.t list -> Probe_walk.response
+
+type stats = {
+  probes_sent : int;
+  verifications : int;  (** subset of [probes_sent] used to resolve ambiguity *)
+  switches_found : int;
+  links_found : int;
+  hosts_found : int;
+}
+
+type result = {
+  topology : Graph.t;  (** reconstructed under the discovered identities *)
+  own_switch : switch_id;
+  own_port : port;
+  host_locations : (host_id * link_end) list;
+  controller_hint : host_id option;  (** first controller location learned from a reply *)
+  stats : stats;
+}
+
+val run :
+  ?verify:[ `Always | `When_ambiguous ] ->
+  ?stop_at_controller:bool ->
+  prober:prober ->
+  origin:host_id ->
+  max_ports:int ->
+  unit ->
+  result option
+(** [None] if the origin cannot even find its own port (disconnected).
+    [verify] defaults to [`When_ambiguous]: confirmation probes are sent
+    only when another known switch shares the candidate's return path.
+    [stop_at_controller] makes non-controller hosts stop as soon as a
+    reply reveals the controller's location. *)
+
+val verify_with_prior : prober:prober -> origin:host_id -> expected:Graph.t -> result option
+(** Bootstrap with prior knowledge (§4.1): verify each expected link
+    with one targeted probe instead of scanning all port pairs. The
+    result's topology contains only the links that verified, so stale
+    prior entries are dropped; its stats show the reduced probe count. *)
+
+val emulation_pm_cost_ns : int
+(** Per-probe controller processing cost calibrated against the paper's
+    emulator (Fig 8: ~70 s for 500 64-port switches). *)
+
+val time_ns : stats -> int
+(** Discovery wall-clock under the emulation cost model: the controller
+    is the bottleneck, so time is probes × per-probe cost. *)

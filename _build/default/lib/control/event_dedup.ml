@@ -1,0 +1,25 @@
+open Dumbnet_packet
+
+type t = {
+  last_seq : (Dumbnet_topology.Types.link_end, int) Hashtbl.t;
+  mutable seen : int;
+  mutable duplicates : int;
+}
+
+let create () = { last_seq = Hashtbl.create 32; seen = 0; duplicates = 0 }
+
+let fresh t (e : Payload.link_event) =
+  t.seen <- t.seen + 1;
+  let last = Option.value ~default:0 (Hashtbl.find_opt t.last_seq e.position) in
+  if e.event_seq > last then begin
+    Hashtbl.replace t.last_seq e.position e.event_seq;
+    true
+  end
+  else begin
+    t.duplicates <- t.duplicates + 1;
+    false
+  end
+
+let seen t = t.seen
+
+let duplicates t = t.duplicates

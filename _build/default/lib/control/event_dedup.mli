@@ -1,0 +1,20 @@
+(** Duplicate suppression for link-event notifications.
+
+    Switch monitors stamp each alarm with a per-port sequence number;
+    hosts and the controller remember the highest sequence seen per port
+    and ignore replays — this is what stops the host-to-host flood and
+    keeps flapping links from generating storms (§4.2). *)
+
+open Dumbnet_packet
+
+type t
+
+val create : unit -> t
+
+val fresh : t -> Payload.link_event -> bool
+(** [true] exactly once per (port, sequence); records the event. *)
+
+val seen : t -> int
+(** Total events offered, fresh or not. *)
+
+val duplicates : t -> int

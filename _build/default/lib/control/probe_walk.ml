@@ -1,0 +1,62 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type response =
+  | Bounced
+  | Host_reply of { responder : host_id; knows_controller : host_id option }
+  | Switch_id of switch_id
+  | Lost
+
+type payload_kind =
+  | P_probe
+  | P_id of switch_id
+  | P_reply
+
+type terminal =
+  | At_host of host_id * Tag.t list * payload_kind
+  | Dead
+
+(* Apply the dumb-switch rules tag by tag, starting inside [sw]. *)
+let rec walk g ~hops sw tags payload =
+  match tags with
+  | [] | Tag.End_of_path :: _ -> Dead
+  | Tag.Id_query :: rest -> walk g ~hops sw rest (P_id sw)
+  | Tag.Forward p :: rest -> (
+    let le = { sw; port = p } in
+    if not (Graph.link_up g le) then Dead
+    else begin
+      incr hops;
+      match Graph.endpoint_at g le with
+      | None -> Dead
+      | Some (Switch z) -> walk g ~hops z rest payload
+      | Some (Host h) -> At_host (h, rest, payload)
+    end)
+
+let enter g ~hops h tags payload =
+  match Graph.host_location g h with
+  | None -> Dead
+  | Some loc -> if Graph.link_up g loc then walk g ~hops loc.sw tags payload else Dead
+
+let probe ?(controller_of = fun _ -> None) g ~origin ~tags =
+  let hops = ref 0 in
+  match enter g ~hops origin tags P_probe with
+  | Dead -> Lost
+  | At_host (h, rest, payload) -> (
+    match payload with
+    | P_id s -> if h = origin && rest = [ Tag.End_of_path ] then Switch_id s else Lost
+    | P_reply -> Lost (* cannot happen on the outbound leg *)
+    | P_probe ->
+      if h = origin then Bounced
+      else begin
+        (* The probe service: reply along the leftover tag sequence. *)
+        match enter g ~hops h rest P_reply with
+        | At_host (h2, [ Tag.End_of_path ], P_reply) when h2 = origin ->
+          Host_reply { responder = h; knows_controller = controller_of h }
+        | At_host _ | Dead -> Lost
+      end)
+
+let hops g ~origin ~tags =
+  let hops = ref 0 in
+  ignore (enter g ~hops origin tags P_probe);
+  !hops

@@ -1,0 +1,33 @@
+(** Reference semantics of a probe message: what comes back when a host
+    injects a given tag sequence into the fabric.
+
+    This walks the ground-truth graph applying exactly the dumb-switch
+    rules ({!Dumbnet_switch.Dataplane} behaviour) plus the host probe
+    service rule from §4.1: a host receiving a probe message replies
+    with its identity along the leftover tag sequence. Discovery uses it
+    as a fast synchronous prober at emulation scale; tests use it as the
+    oracle the packet-level simulation must agree with. *)
+
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type response =
+  | Bounced  (** the origin's own probe returned to it *)
+  | Host_reply of { responder : host_id; knows_controller : host_id option }
+  | Switch_id of switch_id  (** an ID query was answered *)
+  | Lost  (** the probe (or its reply) died in the fabric *)
+
+val probe :
+  ?controller_of:(host_id -> host_id option) ->
+  Graph.t ->
+  origin:host_id ->
+  tags:Tag.t list ->
+  response
+(** [probe g ~origin ~tags] injects a probe with this exact tag sequence
+    (must end in ø) from [origin]. [controller_of] tells which hosts
+    would advertise a controller location in their replies. *)
+
+val hops : Graph.t -> origin:host_id -> tags:Tag.t list -> int
+(** Switch hops the probe (not the reply) traverses before delivery or
+    loss — used by discovery time accounting. *)

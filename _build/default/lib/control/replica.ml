@@ -1,0 +1,75 @@
+(* Logs are kept newest-first internally; accessors reverse. *)
+
+type 'a node = {
+  mutable up : bool;
+  mutable log : 'a list;
+  mutable log_len : int;
+}
+
+type 'a t = {
+  nodes : 'a node array;
+  mutable committed : 'a list;
+  mutable committed_len : int;
+}
+
+let create ~replicas =
+  if replicas < 1 || replicas mod 2 = 0 then
+    invalid_arg "Replica.create: replica count must be odd and positive";
+  {
+    nodes = Array.init replicas (fun _ -> { up = true; log = []; log_len = 0 });
+    committed = [];
+    committed_len = 0;
+  }
+
+let alive t =
+  Array.to_list (Array.mapi (fun i n -> (i, n.up)) t.nodes)
+  |> List.filter_map (fun (i, up) -> if up then Some i else None)
+
+let leader t =
+  match alive t with
+  | [] -> None
+  | i :: _ -> Some i
+
+let quorum t = (Array.length t.nodes / 2) + 1
+
+let append t entry =
+  match leader t with
+  | None -> `No_quorum
+  | Some _ ->
+    let acked = alive t in
+    if List.length acked < quorum t then `No_quorum
+    else begin
+      List.iter
+        (fun i ->
+          let n = t.nodes.(i) in
+          n.log <- entry :: n.log;
+          n.log_len <- n.log_len + 1)
+        acked;
+      t.committed <- entry :: t.committed;
+      t.committed_len <- t.committed_len + 1;
+      `Committed (t.committed_len - 1)
+    end
+
+let check t i =
+  if i < 0 || i >= Array.length t.nodes then invalid_arg "Replica: unknown replica"
+
+let crash t i =
+  check t i;
+  t.nodes.(i).up <- false
+
+let recover t i =
+  check t i;
+  let n = t.nodes.(i) in
+  if not n.up then begin
+    (* Catch up: adopt the committed log wholesale (it subsumes any
+       prefix the replica had; uncommitted tails are discarded). *)
+    n.log <- t.committed;
+    n.log_len <- t.committed_len;
+    n.up <- true
+  end
+
+let committed_log t = List.rev t.committed
+
+let replica_log t i =
+  check t i;
+  List.rev t.nodes.(i).log

@@ -1,0 +1,40 @@
+(** Replicated controller state (§4.1 "Multiple controllers", §4.2).
+
+    The paper keeps controller replicas consistent by storing topology
+    changes in Apache ZooKeeper. The sealed environment has no
+    ZooKeeper, so this is a deterministic in-process stand-in with the
+    same guarantees the controller relies on: a single elected leader,
+    majority-acknowledged appends, and committed entries that survive
+    any minority of crashes. The cluster is driven synchronously, which
+    makes crash schedules reproducible in tests. *)
+
+type 'a t
+
+val create : replicas:int -> 'a t
+(** [replicas] must be odd and >= 1 so a majority is well defined. *)
+
+val leader : 'a t -> int option
+(** Lowest-numbered alive replica, [None] if all are down. *)
+
+val alive : 'a t -> int list
+
+val append : 'a t -> 'a -> [ `Committed of int | `No_quorum ]
+(** Leader appends an entry and replicates: committed (returning its
+    log index) once a majority of replicas have acknowledged. With no
+    quorum alive the entry is rejected — the caller must retry later. *)
+
+val crash : 'a t -> int -> unit
+(** Takes a replica down; it stops acknowledging. Crashing the leader
+    elects the next one. No-op if already down. *)
+
+val recover : 'a t -> int -> unit
+(** Brings a replica back; it catches up to the committed log before
+    acknowledging again. *)
+
+val committed_log : 'a t -> 'a list
+(** The cluster-wide committed entries, oldest first. *)
+
+val replica_log : 'a t -> int -> 'a list
+(** What this replica has locally (a prefix of, or equal to, the
+    committed log plus possibly uncommitted tail entries never served
+    to readers). Raises [Invalid_argument] for unknown replicas. *)

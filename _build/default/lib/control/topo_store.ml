@@ -1,0 +1,83 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type t = {
+  g : Graph.t;
+  dedup : Event_dedup.t;
+  mutable version : int;
+  mutable pending : Payload.change list; (* newest first *)
+}
+
+type outcome =
+  | Applied
+  | Ignored
+  | Needs_probe of link_end
+
+let create g = { g = Graph.copy g; dedup = Event_dedup.create (); version = 0; pending = [] }
+
+let graph t = t.g
+
+let version t = t.version
+
+let other_end t le =
+  match Graph.endpoint_at t.g le with
+  | Some (Switch _) -> Graph.peer_port t.g le
+  | Some (Host _) -> Some le (* host links are identified by their switch end alone *)
+  | None -> None
+
+let apply_event t (e : Payload.link_event) =
+  if not (Event_dedup.fresh t.dedup e) then Ignored
+  else begin
+    match other_end t e.position with
+    | Some peer ->
+      if Graph.link_up t.g e.position = e.up then Ignored
+      else begin
+        Graph.set_link_state t.g e.position ~up:e.up;
+        let change =
+          if e.up then Payload.Link_restored (e.position, peer)
+          else Payload.Link_failed (e.position, peer)
+        in
+        t.pending <- change :: t.pending;
+        Applied
+      end
+    | None -> if e.up then Needs_probe e.position else Ignored
+  end
+
+let record_discovered_link t a b =
+  Graph.connect t.g a b;
+  t.pending <- Payload.Link_discovered (a, b) :: t.pending
+
+let take_patch t =
+  match t.pending with
+  | [] -> None
+  | changes ->
+    t.pending <- [];
+    t.version <- t.version + 1;
+    Some (Payload.Topo_patch { version = t.version; changes = List.rev changes })
+
+let apply_patch g changes =
+  let set le ~up =
+    match Graph.endpoint_at g le with
+    | Some _ -> Graph.set_link_state g le ~up
+    | None -> ()
+  in
+  List.iter
+    (fun change ->
+      match change with
+      | Payload.Link_failed (a, _) -> set a ~up:false
+      | Payload.Link_restored (a, _) -> set a ~up:true
+      | Payload.Link_discovered (a, b) -> (
+        match (Graph.endpoint_at g a, Graph.endpoint_at g b) with
+        | None, None ->
+          if List.mem a.sw (Graph.switch_ids g) && List.mem b.sw (Graph.switch_ids g) then
+            Graph.connect g a b
+        | Some _, _ | _, Some _ -> ())
+      | Payload.Switch_removed sw ->
+        if List.mem sw (Graph.switch_ids g) then
+          List.iter
+            (fun (p, _) -> Graph.set_link_state g { sw; port = p } ~up:false)
+            (Graph.neighbors g sw))
+    changes
+
+let serve_path_graph ?s ?eps ?rng t ~src ~dst = Pathgraph.generate ?s ?eps ?rng t.g ~src ~dst

@@ -1,0 +1,47 @@
+(** The controller's authoritative view of the fabric (§4.2 stage 2).
+
+    Holds the discovered topology, applies deduplicated link events to
+    it, accumulates the resulting deltas, and emits them as versioned
+    topology-patch messages. Serves path-graph queries from the same
+    view. Link-up events for ports the store has no cable for cannot be
+    resolved locally — the controller must re-probe, so they are handed
+    back as [Needs_probe]. *)
+
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type t
+
+val create : Graph.t -> t
+(** Takes its own copy of the graph. *)
+
+val graph : t -> Graph.t
+
+val version : t -> int
+(** Incremented once per emitted patch. *)
+
+type outcome =
+  | Applied  (** the store changed and a delta was queued *)
+  | Ignored  (** duplicate or consistent with current state *)
+  | Needs_probe of link_end  (** port-up on an unknown cable: re-probe *)
+
+val apply_event : t -> Payload.link_event -> outcome
+
+val record_discovered_link : t -> link_end -> link_end -> unit
+(** Result of re-probing after [Needs_probe]: a brand-new cable. Either
+    port being occupied raises [Invalid_argument]. *)
+
+val take_patch : t -> Payload.t option
+(** Drains pending deltas into a [Topo_patch] (bumping the version);
+    [None] when nothing changed since the last patch. *)
+
+val apply_patch : Graph.t -> Payload.change list -> unit
+(** Replays patch deltas onto some other party's topology copy (replica
+    catch-up, host-side full views). Unknown elements are ignored — a
+    patch can reference switches a stale view never saw. *)
+
+val serve_path_graph :
+  ?s:int -> ?eps:int -> ?rng:Dumbnet_util.Rng.t -> t -> src:host_id -> dst:host_id ->
+  Pathgraph.t option
+(** Answer a host's path query from the current view. *)

@@ -1,0 +1,1 @@
+lib/core/fabric.mli: Agent Builder Controller Dumbnet_control Dumbnet_host Dumbnet_sim Dumbnet_topology Dumbnet_util Engine Network

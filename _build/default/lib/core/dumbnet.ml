@@ -1,0 +1,16 @@
+(** DumbNet: a stateless source-routed data center fabric.
+
+    Start with {!Fabric}; the per-subsystem libraries are re-exported
+    below for direct access. *)
+
+module Fabric = Fabric
+module Util = Dumbnet_util
+module Topology = Dumbnet_topology
+module Packet = Dumbnet_packet
+module Switch = Dumbnet_switch
+module Sim = Dumbnet_sim
+module Control = Dumbnet_control
+module Host = Dumbnet_host
+module Ext = Dumbnet_ext
+module Baseline = Dumbnet_baseline
+module Workload = Dumbnet_workload

@@ -1,0 +1,1 @@
+lib/experiments/aggregate.ml: Builder Dumbnet Dumbnet_topology Dumbnet_util Dumbnet_workload Flow List Report Runner

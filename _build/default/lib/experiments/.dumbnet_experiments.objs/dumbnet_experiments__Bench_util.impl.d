@@ -1,0 +1,1 @@
+lib/experiments/bench_util.ml: Analyze Bechamel Benchmark Hashtbl Measure Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Agent Builder Dumbnet Dumbnet_baseline Dumbnet_host Dumbnet_packet Dumbnet_sim Dumbnet_topology Dumbnet_util Engine Hashtbl List Network Nic Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/fig11a.ml: Agent Builder Dumbnet Dumbnet_host Dumbnet_topology Dumbnet_util Hashtbl List Printf Report Types

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Array Builder Dumbnet_topology Dumbnet_util Graph Hashtbl List Option Path Pathgraph Printf Report Routing Types

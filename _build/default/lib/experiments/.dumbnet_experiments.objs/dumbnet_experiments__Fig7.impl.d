@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Dumbnet_switch List Printf Report

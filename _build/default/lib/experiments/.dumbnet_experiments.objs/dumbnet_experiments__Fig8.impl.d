@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Builder Dumbnet_control Dumbnet_topology Graph List Printf Report Unix

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Builder Dumbnet Dumbnet_sim Dumbnet_topology Dumbnet_workload Flow Format List Network Nic Report Runner

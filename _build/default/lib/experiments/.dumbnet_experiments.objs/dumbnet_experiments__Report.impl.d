@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Dumbnet_util List Printf

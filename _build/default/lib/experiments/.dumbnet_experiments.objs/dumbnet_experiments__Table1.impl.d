@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Filename List Report Sys

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Bench_util Builder Dumbnet_host Dumbnet_topology Dumbnet_util Graph List Path Pathgraph Pathtable Printf Report

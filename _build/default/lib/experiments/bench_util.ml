@@ -1,0 +1,17 @@
+open Bechamel
+
+let measure_ns ~name f =
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ~stabilize:false () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) ols [] with
+  | [ result ] -> (
+    match Analyze.OLS.estimates result with
+    | Some (ns :: _) -> ns
+    | Some [] | None -> nan)
+  | _ -> nan

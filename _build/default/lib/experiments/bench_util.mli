@@ -1,0 +1,4 @@
+(** Thin wrapper over Bechamel: measure one thunk's per-run cost. *)
+
+val measure_ns : name:string -> (unit -> 'a) -> float
+(** Nanoseconds per call, OLS fit over monotonic-clock samples. *)

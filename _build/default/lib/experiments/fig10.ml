@@ -1,0 +1,125 @@
+(** Figure 10: round-trip latency distribution on the testbed — native
+    Ethernet vs no-op DPDK vs DumbNet. 100 ping-pongs between every
+    ordered host pair, all pairs starting simultaneously; in DumbNet
+    mode the first exchanges pay the controller path-query round trips
+    in tandem (sender then receiver), producing the paper's 20-30 ms
+    tail under the synchronized start. *)
+
+open Dumbnet_topology
+open Dumbnet_sim
+open Dumbnet_host
+module Stats = Dumbnet_util.Stats
+
+type mode =
+  | Native
+  | Noop_dpdk
+  | Dumbnet_mode
+
+let mode_name = function
+  | Native -> "native Ethernet"
+  | Noop_dpdk -> "no-op DPDK"
+  | Dumbnet_mode -> "DumbNet"
+
+let pings_per_pair = 100
+
+type pair_state = {
+  origin : Dumbnet_topology.Types.host_id;
+  target : Dumbnet_topology.Types.host_id;
+  mutable sent : int;
+  mutable last_sent_ns : int;
+}
+
+let run_mode mode =
+  let built = Builder.testbed () in
+  let fab = Dumbnet.Fabric.create ~seed:23 built in
+  let net = Dumbnet.Fabric.network fab in
+  let eng = Dumbnet.Fabric.engine fab in
+  let hosts = built.Builder.hosts in
+  (match mode with
+  | Native | Noop_dpdk ->
+    (* A conventional converged fabric: ECMP per flow over the global
+       view, no controller in the loop. *)
+    let ecmp = Dumbnet_baseline.Ecmp.create (Network.graph net) in
+    List.iter
+      (fun h ->
+        let agent = Dumbnet.Fabric.agent fab h in
+        Agent.set_routing_fn agent (Some (Dumbnet_baseline.Ecmp.routing_fn ecmp));
+        Network.set_host_nic net h (if mode = Native then Nic.Native else Nic.Dpdk_noop))
+      hosts
+  | Dumbnet_mode -> ());
+  let pairs =
+    List.concat_map
+      (fun a -> List.filter_map (fun b -> if a = b then None else Some (a, b)) hosts)
+      hosts
+  in
+  let states =
+    List.mapi
+      (fun i (origin, target) ->
+        (i, { origin; target; sent = 0; last_sent_ns = 0 }))
+      pairs
+  in
+  let by_id = Hashtbl.create (List.length states) in
+  List.iter (fun (i, st) -> Hashtbl.replace by_id i st) states;
+  let rtts = ref [] in
+  let ping st pair_id =
+    st.sent <- st.sent + 1;
+    st.last_sent_ns <- Engine.now eng;
+    ignore
+      (Agent.send_data
+         (Dumbnet.Fabric.agent fab st.origin)
+         ~dst:st.target ~flow:pair_id ~seq:(2 * (st.sent - 1)) ~size:64 ())
+  in
+  List.iter
+    (fun h ->
+      let agent = Dumbnet.Fabric.agent fab h in
+      Agent.on_data agent (fun ~src payload ->
+          match payload with
+          | Dumbnet_packet.Payload.Data { flow; seq; _ } ->
+            if seq land 1 = 0 then
+              (* Ping: echo it back. *)
+              ignore (Agent.send_data agent ~dst:src ~flow ~seq:(seq + 1) ~size:64 ())
+            else begin
+              (* Pong: close the RTT and launch the next ping. *)
+              match Hashtbl.find_opt by_id flow with
+              | Some st when st.origin = h ->
+                rtts := (Engine.now eng - st.last_sent_ns) :: !rtts;
+                if st.sent < pings_per_pair then ping st flow
+              | Some _ | None -> ()
+            end
+          | _ -> ()))
+    hosts;
+  List.iter (fun (i, st) -> ping st i) states;
+  Dumbnet.Fabric.run fab;
+  List.rev_map (fun ns -> float_of_int ns /. 1e6) !rtts
+
+let run () =
+  Report.section ~id:"Figure 10" ~title:"Round-trip latency CDF (testbed, all host pairs)";
+  Report.note
+    (Printf.sprintf "%d pings per ordered pair, all pairs starting together." pings_per_pair);
+  let rows =
+    List.map
+      (fun mode ->
+        let samples = run_mode mode in
+        let s = Stats.summarize samples in
+        let tail =
+          let n = List.length samples in
+          let late = List.length (List.filter (fun v -> v >= 10.) samples) in
+          100. *. float_of_int late /. float_of_int n
+        in
+        [
+          mode_name mode;
+          string_of_int s.Stats.count;
+          Report.ms s.Stats.p50;
+          Report.ms s.Stats.p95;
+          Report.ms s.Stats.p99;
+          Report.ms s.Stats.max;
+          Report.pct tail;
+        ])
+      [ Native; Noop_dpdk; Dumbnet_mode ]
+  in
+  Report.table
+    ~headers:[ "mode"; "samples"; "p50"; "p95"; "p99"; "max"; ">=10ms tail" ]
+    rows;
+  Report.note
+    "Paper: DPDK-based stacks sit well above native; DumbNet tracks no-op DPDK, with a \
+     ~0.5% tail at 20-30 ms from the synchronized first-contact path queries."

@@ -1,0 +1,67 @@
+(** Figure 11(a): CDF of topology-change notification delays on the
+    testbed. A spine-leaf link is cut; we record, at every host, when
+    the stage-1 failure notification (switch broadcast + host flood)
+    arrives and when the stage-2 controller patch arrives. *)
+
+open Dumbnet_topology
+open Dumbnet_host
+module Stats = Dumbnet_util.Stats
+
+let run () =
+  Report.section ~id:"Figure 11(a)" ~title:"Failure notification delay CDF (testbed)";
+  let built = Builder.testbed () in
+  let fab = Dumbnet.Fabric.create ~seed:31 built in
+  let hosts = built.Builder.hosts in
+  (* Warm the caches so failover paths are in place, as in steady
+     operation: every host talks to a few others once. *)
+  List.iteri
+    (fun i h ->
+      let dst = List.nth hosts ((i + 7) mod List.length hosts) in
+      if dst <> h then ignore (Dumbnet.Fabric.send fab ~src:h ~dst ~size:100 ()))
+    hosts;
+  Dumbnet.Fabric.run fab;
+  let event_delay = Hashtbl.create 32 in
+  let patch_delay = Hashtbl.create 32 in
+  let t_fail = ref 0 in
+  (* The controller keeps its own event hook (it drives stage 2);
+     measure at the 26 other hosts. *)
+  let observed = List.filter (fun h -> h <> built.Builder.controller) hosts in
+  List.iter
+    (fun h ->
+      let agent = Dumbnet.Fabric.agent fab h in
+      Agent.set_event_hook agent (fun _ ->
+          if not (Hashtbl.mem event_delay h) then
+            Hashtbl.replace event_delay h (Dumbnet.Fabric.now_ns fab - !t_fail));
+      Agent.set_patch_hook agent (fun ~version:_ _ ->
+          if not (Hashtbl.mem patch_delay h) then
+            Hashtbl.replace patch_delay h (Dumbnet.Fabric.now_ns fab - !t_fail)))
+    observed;
+  t_fail := Dumbnet.Fabric.now_ns fab;
+  (* Cut the first leaf's link to the first spine: leaf switches are ids
+     2..6 in the testbed builder, port 1 goes to spine 0. *)
+  Dumbnet.Fabric.fail_link fab { Types.sw = 2; port = 1 };
+  Dumbnet.Fabric.run fab;
+  let to_ms tbl =
+    Hashtbl.fold (fun _ d acc -> (float_of_int d /. 1e6) :: acc) tbl []
+  in
+  let ev = to_ms event_delay and pa = to_ms patch_delay in
+  let row name paper samples =
+    match samples with
+    | [] -> [ name; paper; "no data"; ""; "" ]
+    | _ ->
+      let s = Stats.summarize samples in
+      [
+        name;
+        paper;
+        Printf.sprintf "%d/%d hosts" s.Stats.count (List.length observed);
+        Report.ms s.Stats.p50;
+        Report.ms s.Stats.max;
+      ]
+  in
+  Report.table
+    ~headers:[ "message"; "paper"; "reached"; "p50"; "max" ]
+    [
+      row "link failure msg (stage 1)" "majority < 4 ms" ev;
+      row "topology patch (stage 2)" "< 8 ms" pa;
+    ];
+  Report.note "Paper: the whole process finishes within 10 ms of the failure."

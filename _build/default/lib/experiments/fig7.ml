@@ -1,0 +1,33 @@
+(** Figure 7: FPGA resource utilization vs port count, DumbNet's
+    two-stage pop-label switch against the NetFPGA OpenFlow switch. *)
+
+module Resource_model = Dumbnet_switch.Resource_model
+
+let port_counts = [ 4; 8; 16; 24; 32 ]
+
+let run () =
+  Report.section ~id:"Figure 7" ~title:"FPGA resource utilization vs number of ports";
+  Report.note
+    "Paper anchors (4 ports): DumbNet 1713 LUTs / 1504 registers; OpenFlow 16070 / 17193.";
+  let rows =
+    List.map
+      (fun ports ->
+        let d = Resource_model.dumbnet ~ports in
+        let o = Resource_model.openflow ~ports in
+        [
+          string_of_int ports;
+          string_of_int d.Resource_model.luts;
+          string_of_int d.Resource_model.registers;
+          string_of_int o.Resource_model.luts;
+          string_of_int o.Resource_model.registers;
+          Printf.sprintf "%.1fx" (Resource_model.reduction_factor ~ports);
+        ])
+      port_counts
+  in
+  Report.table
+    ~headers:
+      [ "ports"; "DumbNet LUTs"; "DumbNet regs"; "OpenFlow LUTs"; "OpenFlow regs"; "LUT saving" ]
+    rows;
+  Report.note
+    (Printf.sprintf "Switch data plane: %d lines of Verilog in the paper; stateless pop-label."
+       Resource_model.verilog_loc)

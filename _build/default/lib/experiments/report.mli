@@ -1,0 +1,19 @@
+(** Shared output helpers for the benchmark harness: section banners and
+    paper-vs-measured tables, so every experiment prints uniformly. *)
+
+val section : id:string -> title:string -> unit
+
+val note : string -> unit
+
+val table : headers:string list -> string list list -> unit
+
+val gbps : float -> string
+
+val ms : float -> string
+(** Milliseconds with sensible precision. *)
+
+val us : float -> string
+
+val seconds : float -> string
+
+val pct : float -> string

@@ -1,0 +1,77 @@
+(** Table 2: latencies of the host-agent kernel-module functions,
+    measured for real with Bechamel on this machine's implementations —
+    the one experiment where our absolute numbers are directly
+    comparable in kind to the paper's (both are software microbenchmarks
+    at fat-tree scale: 5120 switches, 131072 links, 10K PathTable
+    entries, a 16-hop path to verify). *)
+
+open Dumbnet_topology
+open Dumbnet_host
+module Rng = Dumbnet_util.Rng
+
+let fat_tree_k = 64 (* 5*(64^2)/4 = 5120 switches *)
+
+(* 10K synthetic PathTable entries: content is irrelevant to lookup
+   cost, shape (a few multi-hop paths each) is kept realistic. *)
+let fill_pathtable rng table =
+  for dst = 1 to 10_000 do
+    let hop _ = (Rng.int rng 5120, 1 + Rng.int rng 64) in
+    let path i = { Path.src = 0; hops = List.init (4 + i) hop; dst } in
+    Pathtable.set table ~dst { Pathtable.paths = [ path 0; path 1; path 2 ]; backup = Some (path 3) }
+  done
+
+(* A valid long walk for the verifier: ping-pong between an edge switch
+   and its aggregation neighbour, then exit to a host on the edge
+   switch. The fat tree is bipartite, so a host-to-host path always has
+   an odd hop count — 17 hops is the closest to the paper's 16 (both
+   "longer than most DCN paths"). *)
+let long_verify_path g =
+  let hosts = Graph.host_ids g in
+  let h1 = List.nth hosts 0 in
+  let h2 = List.nth hosts 1 in
+  match (Graph.host_location g h1, Graph.host_location g h2) with
+  | Some l1, Some l2 when l1.sw = l2.sw -> (
+    let edge = l1.sw in
+    match Graph.switch_neighbors g edge with
+    | (out, agg, agg_in) :: _ ->
+      let bounce = [ (edge, out); (agg, agg_in) ] in
+      let hops = List.concat (List.init 8 (fun _ -> bounce)) in
+      { Path.src = h1; hops = hops @ [ (edge, l2.port) ]; dst = h2 }
+    | [] -> failwith "table2: edge switch has no uplink")
+  | _ -> failwith "table2: first two hosts not co-located on an edge switch"
+
+let run () =
+  Report.section ~id:"Table 2" ~title:"Host kernel-module function latencies (measured)";
+  let rng = Rng.create 7 in
+  let built = Builder.fat_tree ~k:fat_tree_k () in
+  let g = built.Builder.graph in
+  let links = List.length (Graph.switch_links g) in
+  Report.note
+    (Printf.sprintf "Setup: fat-tree k=%d: %d switches, %d links; 10K PathTable entries."
+       fat_tree_k (Graph.num_switches g) links);
+  let table = Pathtable.create () in
+  fill_pathtable rng table;
+  let path17 = long_verify_path g in
+  assert (Path.validate g path17);
+  let src = List.nth built.Builder.hosts 0 in
+  let dst = List.nth built.Builder.hosts (List.length built.Builder.hosts - 1) in
+  let pg =
+    match Pathgraph.generate ~rng g ~src ~dst with
+    | Some pg -> pg
+    | None -> failwith "table2: no path graph"
+  in
+  let lookup_ns =
+    Bench_util.measure_ns ~name:"pathtable-lookup" (fun () ->
+        Pathtable.choose table ~dst:4242 ~flow:7)
+  in
+  let verify_ns =
+    Bench_util.measure_ns ~name:"path-verify" (fun () -> Path.validate g path17)
+  in
+  let find_ns = Bench_util.measure_ns ~name:"find-path" (fun () -> Pathgraph.find_route pg) in
+  Report.table
+    ~headers:[ "function"; "paper"; "measured" ]
+    [
+      [ "PathTable lookup"; "0.37 µs"; Report.us (lookup_ns /. 1e3) ];
+      [ "Path verify (17 hops)"; "7.17 µs (16 hops)"; Report.us (verify_ns /. 1e3) ];
+      [ "Find path (cached graph)"; "1.50 µs"; Report.us (find_ns /. 1e3) ];
+    ]

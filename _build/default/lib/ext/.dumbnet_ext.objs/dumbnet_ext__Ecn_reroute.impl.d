@@ -1,0 +1,1 @@
+lib/ext/ecn_reroute.ml: Agent Dumbnet_host Dumbnet_packet Dumbnet_sim Engine Hashtbl Network Pathtable

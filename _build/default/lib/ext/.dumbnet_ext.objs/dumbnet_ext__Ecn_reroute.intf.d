@@ -1,0 +1,1 @@
+lib/ext/ecn_reroute.mli: Agent Dumbnet_host

@@ -1,0 +1,1 @@
+lib/ext/flowlet.ml: Agent Dumbnet_host Hashtbl Option Pathtable

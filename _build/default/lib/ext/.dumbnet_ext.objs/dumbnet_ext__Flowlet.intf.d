@@ -1,0 +1,1 @@
+lib/ext/flowlet.mli: Agent Dumbnet_host

@@ -1,0 +1,1 @@
+lib/ext/l3_router.ml: Agent Dumbnet_host Dumbnet_packet Dumbnet_sim Dumbnet_topology List Pathtable Payload Routing Types

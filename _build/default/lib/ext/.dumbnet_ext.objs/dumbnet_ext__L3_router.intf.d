@@ -1,0 +1,1 @@
+lib/ext/l3_router.mli: Agent Dumbnet_host Dumbnet_topology Path Types

@@ -1,0 +1,1 @@
+lib/ext/phost.ml: Agent Dumbnet_host Dumbnet_packet Dumbnet_sim Dumbnet_topology Engine Float Hashtbl List Network Option Payload

@@ -1,0 +1,1 @@
+lib/ext/phost.mli: Agent Dumbnet_host Dumbnet_topology

@@ -1,0 +1,1 @@
+lib/ext/virtual_net.ml: Controller Dumbnet_control Dumbnet_host Dumbnet_topology Graph Hashtbl Link_key List Path Pathgraph Routing Switch_set Types Verifier

@@ -1,0 +1,1 @@
+lib/ext/virtual_net.mli: Controller Dumbnet_host Dumbnet_topology Path Pathgraph Switch_set Types Verifier

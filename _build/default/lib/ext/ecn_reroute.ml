@@ -1,0 +1,94 @@
+open Dumbnet_host
+open Dumbnet_sim
+
+type flow_state = {
+  mutable shift : int; (* how many reroutes so far; offsets the path choice *)
+  mutable last_shift_ns : int;
+}
+
+type receiver_state = { mutable marks_pending : int; mutable latest_sent_ns : int }
+
+type t = {
+  echo_every : int;
+  settle_ns : int;
+  senders : (int, flow_state) Hashtbl.t; (* flow -> sender-side state *)
+  receivers : (int * int, receiver_state) Hashtbl.t; (* (src, flow) -> marks *)
+  mutable reroutes : int;
+  mutable echoes : int;
+}
+
+let create ?(echo_every = 8) ?(settle_ns = 2_000_000) () =
+  if echo_every <= 0 then invalid_arg "Ecn_reroute.create: echo_every must be positive";
+  {
+    echo_every;
+    settle_ns;
+    senders = Hashtbl.create 64;
+    receivers = Hashtbl.create 64;
+    reroutes = 0;
+    echoes = 0;
+  }
+
+let reroutes t = t.reroutes
+
+let echoes_sent t = t.echoes
+
+let sender_state t flow =
+  match Hashtbl.find_opt t.senders flow with
+  | Some s -> s
+  | None ->
+    let s = { shift = 0; last_shift_ns = min_int / 2 } in
+    Hashtbl.replace t.senders flow s;
+    s
+
+let current_shift t ~flow =
+  match Hashtbl.find_opt t.senders flow with
+  | Some s -> s.shift
+  | None -> 0
+
+(* Receiver side: count marks, echo back every echo_every of them,
+   stamping the newest marked packet's send time. *)
+let on_mark t agent ~src ~flow ~sent_ns =
+  let key = (src, flow) in
+  let st =
+    match Hashtbl.find_opt t.receivers key with
+    | Some st -> st
+    | None ->
+      let st = { marks_pending = 0; latest_sent_ns = 0 } in
+      Hashtbl.replace t.receivers key st;
+      st
+  in
+  st.marks_pending <- st.marks_pending + 1;
+  st.latest_sent_ns <- max st.latest_sent_ns sent_ns;
+  if st.marks_pending >= t.echo_every then begin
+    let marks = st.marks_pending in
+    st.marks_pending <- 0;
+    t.echoes <- t.echoes + 1;
+    ignore
+      (Agent.send_payload agent ~dst:src
+         (Dumbnet_packet.Payload.Ecn_echo { flow; marks; latest_sent_ns = st.latest_sent_ns }))
+  end
+
+(* Sender side: an echo shifts the flow onto the next cached path —
+   unless the marked packets were sent before the last shift (stale
+   feedback from the abandoned path) or we only just moved. *)
+let on_echo t agent ~flow ~marks:_ ~latest_sent_ns =
+  let now = Engine.now (Network.engine (Agent.network agent)) in
+  let st = sender_state t flow in
+  if latest_sent_ns > st.last_shift_ns && now - st.last_shift_ns > t.settle_ns then begin
+    st.shift <- st.shift + 1;
+    st.last_shift_ns <- now;
+    t.reroutes <- t.reroutes + 1
+  end
+
+let routing_fn t agent ~now_ns:_ ~dst ~flow =
+  match Hashtbl.find_opt t.senders flow with
+  | Some { shift; _ } when shift > 0 ->
+    (* Offset from the same hash base the default binding uses, so one
+       shift is guaranteed to move off the congested choice. *)
+    Pathtable.choose_nth (Agent.pathtable agent) ~dst ~n:(abs (Hashtbl.hash flow) + shift)
+  | Some _ | None -> None (* fall through to the default sticky choice *)
+
+let enable t agent =
+  Agent.set_mark_hook agent (on_mark t agent);
+  Agent.set_echo_hook agent (on_echo t agent);
+  Agent.set_routing_fn agent (Some (routing_fn t))

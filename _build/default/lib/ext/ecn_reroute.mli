@@ -1,0 +1,38 @@
+(** Congestion-avoiding rerouting driven by ECN (paper §6.2 and §8).
+
+    The paper's future-work switch extension marks packets when a queue
+    is deep — stateless, the mark depends only on instantaneous depth
+    (enable it with {!Dumbnet_sim.Network.config}'s
+    [ecn_threshold_bytes]). This module is the host half: the receiver
+    counts congestion-experienced marks per flow and echoes them to the
+    sender every [echo_every] marks; the sender's routing function then
+    shifts the offending flow to a different cached path — per-flow
+    state on hosts, none in the network, exactly the DumbNet division of
+    labour.
+
+    Install on every host with {!enable}; senders and receivers use the
+    same instance role-agnostically. *)
+
+open Dumbnet_host
+
+type t
+
+val create : ?echo_every:int -> ?settle_ns:int -> unit -> t
+(** [echo_every] marks trigger one echo (default 8); after a reroute
+    the flow ignores further echoes for [settle_ns] (default 2 ms) so
+    in-flight marks from the abandoned path don't cause flapping. *)
+
+val routing_fn : t -> Agent.routing_fn
+(** The sender-side routing function: shifted flows take the next
+    cached path; unshifted flows fall through to the default choice. *)
+
+val enable : t -> Agent.t -> unit
+(** Wires the mark hook, echo hook and routing function into the agent. *)
+
+val reroutes : t -> int
+(** Flows shifted so far (across all agents sharing this instance). *)
+
+val echoes_sent : t -> int
+
+val current_shift : t -> flow:int -> int
+(** How many times this flow has been moved (0 if never seen). *)

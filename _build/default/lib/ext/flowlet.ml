@@ -1,0 +1,45 @@
+open Dumbnet_host
+
+type flow_state = {
+  mutable last_ns : int;
+  mutable flowlet : int;
+}
+
+type t = {
+  gap_ns : int;
+  flows : (int, flow_state) Hashtbl.t;
+  mutable started : int;
+}
+
+let default_gap_ns = 500_000
+
+let create ?(gap_ns = default_gap_ns) () =
+  if gap_ns <= 0 then invalid_arg "Flowlet.create: gap must be positive";
+  { gap_ns; flows = Hashtbl.create 64; started = 0 }
+
+(* Bump the flowlet id when the inter-packet gap exceeds the threshold;
+   the (flow, flowlet) pair then hashes to a path choice. *)
+let flowlet_id t ~now_ns ~flow =
+  match Hashtbl.find_opt t.flows flow with
+  | None ->
+    Hashtbl.replace t.flows flow { last_ns = now_ns; flowlet = 0 };
+    t.started <- t.started + 1;
+    0
+  | Some st ->
+    if now_ns - st.last_ns > t.gap_ns then begin
+      st.flowlet <- st.flowlet + 1;
+      t.started <- t.started + 1
+    end;
+    st.last_ns <- now_ns;
+    st.flowlet
+
+let routing_fn t agent ~now_ns ~dst ~flow =
+  let id = flowlet_id t ~now_ns ~flow in
+  Pathtable.choose_nth (Agent.pathtable agent) ~dst ~n:(Hashtbl.hash (flow, dst, id))
+
+let enable t agent = Agent.set_routing_fn agent (Some (routing_fn t))
+
+let flowlets_started t = t.started
+
+let current_flowlet t ~flow =
+  Option.map (fun st -> st.flowlet) (Hashtbl.find_opt t.flows flow)

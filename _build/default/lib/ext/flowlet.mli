@@ -1,0 +1,30 @@
+(** Flowlet-based traffic engineering (paper §6.2).
+
+    A customized routing function: instead of binding a whole flow to
+    one path, packets are grouped into flowlets — bursts separated by an
+    idle gap longer than the path-latency skew — and each flowlet
+    deterministically picks one of the k cached paths. Bursts hash to
+    fresh paths, spreading load without intra-burst reordering. All
+    state is per-host, which is why the paper calls this "simple and
+    efficient" compared to switch-based TE. *)
+
+open Dumbnet_host
+
+type t
+
+val default_gap_ns : int
+(** 500 µs — comfortably above path-latency skew in the fabric. *)
+
+val create : ?gap_ns:int -> unit -> t
+
+val routing_fn : t -> Agent.routing_fn
+(** Install with {!Dumbnet_host.Agent.set_routing_fn}. *)
+
+val enable : t -> Agent.t -> unit
+(** Convenience: [Agent.set_routing_fn agent (Some (routing_fn t))]. *)
+
+val flowlets_started : t -> int
+(** Total flowlet transitions observed (new flows included). *)
+
+val current_flowlet : t -> flow:int -> int option
+(** The flowlet counter for a flow, if the flow has been seen. *)

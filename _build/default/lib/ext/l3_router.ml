@@ -1,0 +1,85 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+open Dumbnet_host
+
+module Address = struct
+  type t = { subnet : int; host : host_id; flow : int }
+
+  let subnet_bits = 8
+
+  let host_bits = 24
+
+  let flow_bits = 24
+
+  let pack { subnet; host; flow } =
+    if subnet < 0 || subnet >= 1 lsl subnet_bits then invalid_arg "Address.pack: subnet";
+    if host < 0 || host >= 1 lsl host_bits then invalid_arg "Address.pack: host";
+    if flow < 0 || flow >= 1 lsl flow_bits then invalid_arg "Address.pack: flow";
+    (subnet lsl (host_bits + flow_bits)) lor (host lsl flow_bits) lor flow
+
+  let unpack v =
+    {
+      subnet = (v lsr (host_bits + flow_bits)) land ((1 lsl subnet_bits) - 1);
+      host = (v lsr flow_bits) land ((1 lsl host_bits) - 1);
+      flow = v land ((1 lsl flow_bits) - 1);
+    }
+end
+
+type t = {
+  mutable ifaces : (int * Agent.t) list;
+  mutable forwarded : int;
+}
+
+let create () = { ifaces = []; forwarded = 0 }
+
+let interfaces t = t.ifaces
+
+let forwarded t = t.forwarded
+
+(* The forwarding logic of the paper's <100-line router: unpack the
+   destination from the flow id and re-emit on the right interface. *)
+let forward t ~from_subnet ~src:_ payload =
+  match payload with
+  | Payload.Data { flow; seq; size; sent_ns = _ } -> (
+    let addr = Address.unpack flow in
+    if addr.Address.subnet <> from_subnet then begin
+      match List.assoc_opt addr.Address.subnet t.ifaces with
+      | Some out_agent ->
+        t.forwarded <- t.forwarded + 1;
+        ignore (Agent.send_data out_agent ~dst:addr.Address.host ~flow ~seq ~size ())
+      | None -> ()
+    end)
+  | _ -> ()
+
+let add_interface t ~subnet ~agent =
+  if List.mem_assoc subnet t.ifaces then invalid_arg "L3_router.add_interface: duplicate subnet";
+  t.ifaces <- (subnet, agent) :: t.ifaces;
+  Agent.on_data agent (fun ~src payload -> forward t ~from_subnet:subnet ~src payload)
+
+let send_remote ~via ~agent ~dst ~size () =
+  Agent.send_data agent ~dst:via ~flow:(Address.pack dst) ~size ()
+
+(* Both interfaces on one fabric: route across the union graph the two
+   subnet controllers jointly cover. *)
+let combined_path t ~src_subnet ~src ~dst =
+  match
+    (List.assoc_opt src_subnet t.ifaces, List.assoc_opt dst.Address.subnet t.ifaces)
+  with
+  | Some a, Some b when Agent.network a == Agent.network b ->
+    let g = Dumbnet_sim.Network.graph (Agent.network a) in
+    Routing.host_route g ~src ~dst:dst.Address.host
+  | Some _, Some _ | None, _ | _, None -> None
+
+let install_combined t ~src_subnet ~src_agent ~dst =
+  match combined_path t ~src_subnet ~src:(Agent.self src_agent) ~dst with
+  | None -> false
+  | Some path ->
+    let table = Agent.pathtable src_agent in
+    (match Pathtable.lookup table ~dst:dst.Address.host with
+    | Some entry ->
+      Pathtable.set table ~dst:dst.Address.host
+        { entry with Pathtable.paths = path :: entry.Pathtable.paths }
+    | None ->
+      Pathtable.set table ~dst:dst.Address.host { Pathtable.paths = [ path ]; backup = None });
+    true

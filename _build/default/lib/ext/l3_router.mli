@@ -1,0 +1,55 @@
+(** A software layer-3 router over DumbNet subnets (paper §6.3).
+
+    "A router is simply a number of host agents running on the same
+    node, one for each subnet." Hosts address remote destinations with a
+    (subnet, host) pair packed into the flow id; the router's receive
+    callback re-emits the payload on the interface serving the target
+    subnet. If both subnets are DumbNet fabrics joined by a physical
+    shortcut, the router can also hand the source a combined cross-
+    subnet path to use directly, cutting itself out of the data path. *)
+
+open Dumbnet_topology
+open Types
+open Dumbnet_host
+
+(** Global addressing: subnets are small integers, hosts are the
+    per-subnet host ids. Packed into the 63-bit flow field. *)
+module Address : sig
+  type t = { subnet : int; host : host_id; flow : int }
+
+  val pack : t -> int
+  (** Raises [Invalid_argument] when a component exceeds its field
+      (subnet < 2^8, host < 2^24, flow < 2^24). *)
+
+  val unpack : int -> t
+end
+
+type t
+
+val create : unit -> t
+
+val add_interface : t -> subnet:int -> agent:Agent.t -> unit
+(** Attach one of the router node's agents as the gateway of [subnet].
+    Installs the forwarding callback on the agent. One interface per
+    subnet; raises [Invalid_argument] on duplicates. *)
+
+val interfaces : t -> (int * Agent.t) list
+
+val forwarded : t -> int
+(** Packets relayed across subnets so far. *)
+
+val send_remote :
+  via:host_id -> agent:Agent.t -> dst:Address.t -> size:int -> unit -> Agent.send_result
+(** Host-side helper: send a packet addressed to another subnet through
+    the router host [via] on the local fabric. *)
+
+val combined_path : t -> src_subnet:int -> src:host_id -> dst:Address.t -> Path.t option
+(** The §6.3 optimization for subnets joined by direct switch-to-switch
+    shortcuts inside one fabric: concatenate the per-subnet segments
+    into one source route the sender can use without touching the
+    router. Requires both interfaces to live on the same network. *)
+
+val install_combined : t -> src_subnet:int -> src_agent:Agent.t -> dst:Address.t -> bool
+(** Compute the combined path and install it in the source agent's
+    PathTable (router-authorized, so it bypasses the host verifier whose
+    view stops at the subnet boundary). *)

@@ -1,0 +1,157 @@
+open Dumbnet_topology.Types
+open Dumbnet_packet
+open Dumbnet_host
+open Dumbnet_sim
+
+(* Receiver-side view of one incoming flow. *)
+type incoming = {
+  src : host_id;
+  total_bytes : int;
+  mutable granted_packets : int;
+  mutable received_bytes : int;
+  mutable done_ns : int option;
+}
+
+(* Sender-side view of one outgoing flow. *)
+type outgoing = {
+  dst : host_id;
+  mutable remaining : int;
+  mutable next_seq : int;
+}
+
+type t = {
+  mtu : int;
+  access_gbps : float;
+  tokens_per_grant : int;
+  incoming : (int, incoming) Hashtbl.t;
+  outgoing : (int, outgoing) Hashtbl.t;
+  mutable grant_ring : int list; (* round-robin order of granting flows *)
+  mutable granting : bool;
+  mutable tokens_sent : int;
+  mutable on_complete : (flow:int -> unit) option;
+}
+
+let create ?(mtu = 1450) ?(access_gbps = 10.) ?(tokens_per_grant = 8) () =
+  if mtu <= 0 || tokens_per_grant <= 0 then invalid_arg "Phost.create: bad parameters";
+  {
+    mtu;
+    access_gbps;
+    tokens_per_grant;
+    incoming = Hashtbl.create 16;
+    outgoing = Hashtbl.create 16;
+    grant_ring = [];
+    granting = false;
+    tokens_sent = 0;
+    on_complete = None;
+  }
+
+let completed t ~flow =
+  match Hashtbl.find_opt t.incoming flow with
+  | Some i -> i.done_ns <> None
+  | None -> false
+
+let completion_ns t ~flow = Option.bind (Hashtbl.find_opt t.incoming flow) (fun i -> i.done_ns)
+
+let on_complete t f = t.on_complete <- Some f
+
+let tokens_sent t = t.tokens_sent
+
+let active_incoming t = List.length t.grant_ring
+
+let packets_of_bytes t bytes = (bytes + t.mtu - 1) / t.mtu
+
+(* Time to serialize one grant's worth of data on the access link:
+   pacing grants at this interval keeps the downlink just saturated. *)
+let grant_interval_ns t =
+  int_of_float (Float.of_int (t.tokens_per_grant * t.mtu * 8) /. t.access_gbps)
+
+(* Round-robin granting: one grant per interval to the next flow that
+   still needs credit. Stops when nothing is left to grant. *)
+let rec grant_pump t agent () =
+  let engine = Network.engine (Agent.network agent) in
+  match t.grant_ring with
+  | [] -> t.granting <- false
+  | flow :: rest -> (
+    match Hashtbl.find_opt t.incoming flow with
+    | None ->
+      t.grant_ring <- rest;
+      grant_pump t agent ()
+    | Some inc ->
+      let needed = packets_of_bytes t inc.total_bytes - inc.granted_packets in
+      if needed <= 0 then begin
+        (* Fully granted: drop from the ring, keep the entry for the
+           completion bookkeeping. *)
+        t.grant_ring <- rest;
+        grant_pump t agent ()
+      end
+      else begin
+        let n = min t.tokens_per_grant needed in
+        inc.granted_packets <- inc.granted_packets + n;
+        t.tokens_sent <- t.tokens_sent + n;
+        ignore (Agent.send_payload agent ~dst:inc.src (Payload.Token { flow; packets = n }));
+        t.grant_ring <- rest @ [ flow ];
+        Engine.schedule engine ~delay_ns:(grant_interval_ns t) (grant_pump t agent)
+      end)
+
+let start_granting t agent =
+  if not t.granting then begin
+    t.granting <- true;
+    grant_pump t agent ()
+  end
+
+(* Sender side: one data packet per token. The NIC and the PathTable do
+   the rest — per-packet source routes come for free. *)
+let on_tokens t agent ~flow ~packets =
+  match Hashtbl.find_opt t.outgoing flow with
+  | None -> ()
+  | Some out ->
+    let rec send n =
+      if n > 0 && out.remaining > 0 then begin
+        let size = min t.mtu out.remaining in
+        (match Agent.send_data agent ~dst:out.dst ~flow ~seq:out.next_seq ~size () with
+        | Agent.Sent _ | Agent.Queued ->
+          out.remaining <- out.remaining - size;
+          out.next_seq <- out.next_seq + 1
+        | Agent.No_route -> ());
+        send (n - 1)
+      end
+    in
+    send packets;
+    if out.remaining <= 0 then Hashtbl.remove t.outgoing flow
+
+let on_rts t agent ~src ~flow ~bytes =
+  if not (Hashtbl.mem t.incoming flow) then begin
+    Hashtbl.replace t.incoming flow
+      { src; total_bytes = bytes; granted_packets = 0; received_bytes = 0; done_ns = None };
+    t.grant_ring <- t.grant_ring @ [ flow ];
+    start_granting t agent
+  end
+
+let on_data t agent ~flow ~size =
+  match Hashtbl.find_opt t.incoming flow with
+  | None -> ()
+  | Some inc ->
+    inc.received_bytes <- inc.received_bytes + size;
+    if inc.received_bytes >= inc.total_bytes && inc.done_ns = None then begin
+      inc.done_ns <- Some (Engine.now (Network.engine (Agent.network agent)));
+      match t.on_complete with
+      | Some f -> f ~flow
+      | None -> ()
+    end
+
+let enable t agent =
+  Agent.set_transport_hook agent (fun ~src payload ->
+      match payload with
+      | Payload.Rts { flow; bytes } -> on_rts t agent ~src ~flow ~bytes
+      | Payload.Token { flow; packets } -> on_tokens t agent ~flow ~packets
+      | _ -> ());
+  Agent.on_data agent (fun ~src:_ payload ->
+      match payload with
+      | Payload.Data { flow; size; _ } -> on_data t agent ~flow ~size
+      | _ -> ())
+
+let send_flow t agent ~dst ~flow ~bytes =
+  if bytes <= 0 then invalid_arg "Phost.send_flow: bytes must be positive";
+  if Hashtbl.mem t.outgoing flow then invalid_arg "Phost.send_flow: duplicate flow";
+  Hashtbl.replace t.outgoing flow { dst; remaining = bytes; next_seq = 0 };
+  ignore (Agent.send_payload agent ~dst (Payload.Rts { flow; bytes }))

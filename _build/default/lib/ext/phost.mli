@@ -1,0 +1,44 @@
+(** A pHost-style receiver-driven transport over DumbNet (paper §6.1:
+    "We can easily support existing source-routing based optimizations
+    such as pHost").
+
+    A sender announces each flow with an RTS; the receiver — which knows
+    its own access-link capacity and every incoming flow — paces token
+    grants round-robin across active flows, and the sender transmits
+    exactly one MTU packet per token. Incast congestion collapses at the
+    receiver's downlink instead of overflowing switch queues, without
+    any switch state; and because DumbNet hosts already pick per-packet
+    source routes, each token's packet can ride any cached path. *)
+
+open Dumbnet_topology.Types
+open Dumbnet_host
+
+type t
+
+val create : ?mtu:int -> ?access_gbps:float -> ?tokens_per_grant:int -> unit -> t
+(** Per-host instance, sender and receiver roles both. [access_gbps]
+    (default 10) is the receiver's downlink rate that grant pacing
+    targets; [tokens_per_grant] (default 8) trades grant-message
+    overhead against burstiness. *)
+
+val enable : t -> Agent.t -> unit
+(** Wires the transport hook and data accounting into the agent. The
+    instance owns the agent's data callback; get completions via
+    {!on_complete} / {!completed}. *)
+
+val send_flow : t -> Agent.t -> dst:host_id -> flow:int -> bytes:int -> unit
+(** Announce and start a flow. Flow ids must be globally unique across
+    concurrent flows. Raises [Invalid_argument] on a duplicate active
+    flow or non-positive size. *)
+
+val completed : t -> flow:int -> bool
+(** Receiver-side: all announced bytes have arrived. *)
+
+val completion_ns : t -> flow:int -> int option
+
+val on_complete : t -> (flow:int -> unit) -> unit
+
+val tokens_sent : t -> int
+
+val active_incoming : t -> int
+(** Flows this host is currently granting. *)

@@ -1,0 +1,37 @@
+(** Network virtualization (paper §6.1): per-tenant topology views.
+
+    The controller gives each tenant a restricted view of the fabric —
+    a subset of switches — and serves path graphs computed inside that
+    view only. The path verifier enforces isolation: a route touching a
+    switch outside the tenant's slice is rejected before it can enter a
+    PathTable, so even a malicious routing function cannot cross
+    slices. *)
+
+open Dumbnet_topology
+open Types
+open Dumbnet_host
+
+type t
+
+val create : controller:Controller.t -> unit -> t
+
+val add_tenant : t -> name:string -> switches:Switch_set.t -> hosts:host_id list -> unit
+(** Raises [Invalid_argument] on duplicate names. The slice should
+    contain every host's access switch or those hosts are unreachable
+    inside it. *)
+
+val tenants : t -> string list
+
+val tenant_of_host : t -> host_id -> string option
+
+val serve : t -> tenant:string -> src:host_id -> dst:host_id -> Pathgraph.t option
+(** Path graph computed in the tenant's restricted topology; [None]
+    when either host is outside the slice or no route exists inside
+    it. *)
+
+val verifier : t -> tenant:string -> src:host_id -> dst:host_id -> Verifier.t option
+(** A verifier whose allow-list is the tenant's switch set, viewing the
+    tenant-restricted topology. *)
+
+val isolated : t -> tenant:string -> Path.t -> bool
+(** [true] iff the path stays inside the tenant's slice. *)

@@ -1,0 +1,1 @@
+lib/host/agent.mli: Dumbnet_packet Dumbnet_sim Dumbnet_topology Dumbnet_util Frame Network Nic Path Pathgraph Pathtable Payload Topocache Types Verifier

@@ -1,0 +1,1 @@
+lib/host/controller.ml: Agent Char Dumbnet_control Dumbnet_packet Dumbnet_sim Dumbnet_topology Dumbnet_util Engine Frame Graph Hashtbl List Logs Network Pathgraph Payload Tag Types

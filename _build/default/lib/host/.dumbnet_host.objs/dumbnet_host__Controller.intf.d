@@ -1,0 +1,1 @@
+lib/host/controller.mli: Agent Dumbnet_control Dumbnet_packet Dumbnet_topology Graph Pathgraph Payload Types

@@ -1,0 +1,1 @@
+lib/host/pathtable.ml: Dumbnet_topology Hashtbl List Option Path Types

@@ -1,0 +1,1 @@
+lib/host/pathtable.mli: Dumbnet_topology Link_key Path Types

@@ -1,0 +1,1 @@
+lib/host/standby.ml: Agent Controller Dumbnet_control Dumbnet_sim Dumbnet_topology Dumbnet_util Engine Graph Logs Network Types

@@ -1,0 +1,1 @@
+lib/host/standby.mli: Agent Controller Dumbnet_topology Graph Types

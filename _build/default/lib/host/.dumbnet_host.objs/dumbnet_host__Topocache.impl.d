@@ -1,0 +1,1 @@
+lib/host/topocache.ml: Dumbnet_topology Dumbnet_util Hashtbl Link_key Link_set List Path Pathgraph Pathtable Set Types

@@ -1,0 +1,1 @@
+lib/host/topocache.mli: Dumbnet_topology Dumbnet_util Path Pathgraph Pathtable Types

@@ -1,0 +1,1 @@
+lib/host/verifier.ml: Dumbnet_topology Format List Path Switch_set Types

@@ -1,0 +1,1 @@
+lib/host/verifier.mli: Dumbnet_topology Format Graph Path Switch_set Types

@@ -1,0 +1,278 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+open Dumbnet_sim
+module Topo_store = Dumbnet_control.Topo_store
+module Replica = Dumbnet_control.Replica
+module Discovery = Dumbnet_control.Discovery
+module Probe_walk = Dumbnet_control.Probe_walk
+
+let log_src = Dumbnet_util.Logging.src "controller"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  agent : Agent.t;
+  store : Topo_store.t;
+  replicas : Payload.change Replica.t;
+  s : int;
+  eps : int;
+  query_service_ns : int;
+  others : host_id list;
+  mutable patches : int;
+  mutable busy_until_ns : int;
+  mutable prober : Discovery.prober option;
+}
+
+let agent t = t.agent
+
+let store t = t.store
+
+let replicas t = t.replicas
+
+let patches_sent t = t.patches
+
+let serve t ~src ~dst =
+  Topo_store.serve_path_graph ~s:t.s ~eps:t.eps t.store ~src ~dst
+
+let max_peers = 10
+
+(* Hosts on the same switch first, then hosts at switch distance <= 2,
+   nearest first; the controller is always included so every overlay
+   reaches it. *)
+let flood_peers_of t h =
+  let g = Topo_store.graph t.store in
+  match Graph.host_location g h with
+  | None -> []
+  | Some loc ->
+    let ring0 = [ loc.sw ] in
+    let ring1 = List.map (fun (_, sw, _) -> sw) (Graph.switch_neighbors g loc.sw) in
+    let ring2 =
+      List.concat_map
+        (fun sw -> List.map (fun (_, z, _) -> z) (Graph.switch_neighbors g sw))
+        ring1
+    in
+    let seen = Hashtbl.create 16 in
+    let peers = ref [] in
+    let consider sw =
+      List.iter
+        (fun (_, peer) ->
+          if peer <> h && (not (Hashtbl.mem seen peer)) && List.length !peers < max_peers
+          then begin
+            Hashtbl.replace seen peer ();
+            peers := peer :: !peers
+          end)
+        (Graph.hosts_on_switch g sw)
+    in
+    List.iter consider (ring0 @ ring1 @ ring2);
+    let self = Agent.self t.agent in
+    let result = List.rev !peers in
+    if h <> self && not (List.mem self result) then self :: result else result
+
+(* Stage 2 must guarantee connectivity (§4.2): besides the patch, every
+   host gets a fresh path graph back to the controller, so a host whose
+   cached controller path died regains its query channel. *)
+let broadcast_patch t payload =
+  t.patches <- t.patches + 1;
+  Log.info (fun m ->
+      m "controller H%d: broadcasting topology patch #%d" (Agent.self t.agent) t.patches);
+  let self = Agent.self t.agent in
+  List.iter
+    (fun h ->
+      ignore (Agent.send_payload t.agent ~dst:h payload);
+      match serve t ~src:h ~dst:self with
+      | Some pg ->
+        ignore
+          (Agent.send_payload t.agent ~dst:h (Payload.Path_response (Pathgraph.to_wire pg)))
+      | None -> ())
+    t.others
+
+let journal t changes =
+  List.iter (fun change -> ignore (Replica.append t.replicas change)) changes
+
+let flush_patch t =
+  match Topo_store.take_patch t.store with
+  | Some (Payload.Topo_patch { changes; _ } as payload) ->
+    journal t changes;
+    broadcast_patch t payload
+  | Some _ | None -> ()
+
+(* A port-up on a cable the store has never seen: rediscover it with
+   targeted probes (§4.2 "the controller will probe the ports to
+   discover and verify the newly added links"). The controller knows
+   routes to the port's switch, so one F·p·0·q·R·ø scan over the
+   candidate return ports finds and confirms the new peer. *)
+let probe_new_link t le =
+  match t.prober with
+  | None -> ()
+  | Some prober -> (
+    let g = Topo_store.graph t.store in
+    let self = Agent.self t.agent in
+    match Graph.host_location g self with
+    | None -> ()
+    | Some own_loc -> (
+      let adj = Dumbnet_topology.Routing.graph_adjacency g in
+      match
+        Dumbnet_topology.Routing.shortest_route adj ~src:own_loc.sw ~dst:le.sw
+      with
+      | None -> ()
+      | Some route_to_sw -> (
+        (* Forward tags to the switch, and its reverse back to us. *)
+        let rec ports acc = function
+          | [] | [ _ ] -> Some (List.rev acc)
+          | a :: (b :: _ as rest) -> (
+            match
+              List.find_opt (fun (_, peer, _) -> peer = b) (Graph.switch_neighbors g a)
+            with
+            | Some (out, _, _) -> ports (out :: acc) rest
+            | None -> None)
+        in
+        let rev_route = List.rev route_to_sw in
+        match (ports [] route_to_sw, ports [] rev_route) with
+        | Some fwd, Some ret_tail -> (
+          let ret = ret_tail @ [ own_loc.port ] in
+          let tag p = Tag.forward p in
+          let probe_tags q =
+            List.map tag fwd @ [ tag le.port; Tag.Id_query; tag q ] @ List.map tag ret
+            @ [ Tag.End_of_path ]
+          in
+          let max_ports = Graph.ports_of g le.sw in
+          let rec scan q =
+            if q > max_ports then ()
+            else
+              match prober (probe_tags q) with
+              | Dumbnet_control.Probe_walk.Switch_id x
+                when Graph.endpoint_at g { sw = x; port = q } = None ->
+                Log.info (fun m ->
+                    m "controller: new link S%d-%d <-> S%d-%d discovered by probing" le.sw
+                      le.port x q);
+                Topo_store.record_discovered_link t.store le { sw = x; port = q };
+                flush_patch t
+              | _ -> scan (q + 1)
+          in
+          scan 1)
+        | None, _ | _, None -> ())))
+
+let on_event t event =
+  match Topo_store.apply_event t.store event with
+  | Topo_store.Applied -> flush_patch t
+  | Topo_store.Ignored -> ()
+  | Topo_store.Needs_probe le -> probe_new_link t le
+
+let default_query_service_ns = 40_000
+
+let create ?(replicas = 3) ?(s = 2) ?(eps = 1) ?(query_service_ns = default_query_service_ns)
+    ~agent ~topology ~hosts () =
+  let self = Agent.self agent in
+  let t =
+    {
+      agent;
+      store = Topo_store.create topology;
+      replicas = Replica.create ~replicas;
+      s;
+      eps;
+      query_service_ns;
+      others = List.filter (fun h -> h <> self) hosts;
+      patches = 0;
+      busy_until_ns = 0;
+      prober = None;
+    }
+  in
+  Agent.set_controller agent self;
+  Agent.set_local_path_service agent (fun dst -> serve t ~src:self ~dst);
+  (* Queries queue at the controller: one CPU serves them in arrival
+     order, each costing the path-graph computation plus the userspace
+     turnaround. This serialization is what produces the paper's
+     synchronized-start tail (Fig 10). *)
+  let engine = Dumbnet_sim.Network.engine (Agent.network agent) in
+  Agent.set_query_hook agent (fun ~requester ~target ->
+      let module Engine = Dumbnet_sim.Engine in
+      let start = max (Engine.now engine) t.busy_until_ns in
+      let finish = start + t.query_service_ns in
+      t.busy_until_ns <- finish;
+      Engine.schedule_at engine ~at_ns:finish (fun () ->
+          match serve t ~src:requester ~dst:target with
+          | Some pg ->
+            ignore
+              (Agent.send_payload agent ~dst:requester
+                 (Payload.Path_response (Pathgraph.to_wire pg)))
+          | None -> ()));
+  Agent.set_event_hook agent (fun event -> on_event t event);
+  t
+
+let bootstrap_push t =
+  let self = Agent.self t.agent in
+  Agent.set_peers t.agent (flood_peers_of t self);
+  List.iter
+    (fun h ->
+      let peers = flood_peers_of t h in
+      ignore (Agent.send_payload t.agent ~dst:h (Payload.Controller_hello { controller = self }));
+      ignore (Agent.send_payload t.agent ~dst:h (Payload.Peer_list { peers }));
+      (match serve t ~src:h ~dst:self with
+      | Some pg ->
+        ignore
+          (Agent.send_payload t.agent ~dst:h (Payload.Path_response (Pathgraph.to_wire pg)))
+      | None -> ());
+      List.iter
+        (fun peer ->
+          match serve t ~src:h ~dst:peer with
+          | Some pg ->
+            ignore
+              (Agent.send_payload t.agent ~dst:h (Payload.Path_response (Pathgraph.to_wire pg)))
+          | None -> ())
+        peers)
+    t.others
+
+let set_prober t prober = t.prober <- Some prober
+
+let start_heartbeats ?(interval_ns = 100_000_000) t ~standbys =
+  let engine = Dumbnet_sim.Network.engine (Agent.network t.agent) in
+  let self = Agent.self t.agent in
+  let rec beat () =
+    List.iter
+      (fun h ->
+        if h <> self then
+          ignore (Agent.send_payload t.agent ~dst:h (Payload.Controller_hello { controller = self })))
+      standbys;
+    Dumbnet_sim.Engine.schedule_daemon engine ~delay_ns:interval_ns beat
+  in
+  beat ()
+
+(* --- discovery --- *)
+
+let tag_bytes tags = List.map (fun tag -> Char.code (Tag.to_byte tag)) tags
+
+let packet_prober ~agent =
+  let net = Agent.network agent in
+  let eng = Network.engine net in
+  let origin = Agent.self agent in
+  let captured = ref None in
+  Agent.set_control_sink agent (fun frame -> captured := Some frame);
+  fun tags ->
+    captured := None;
+    let frame =
+      Frame.dumbnet ~src:origin ~dst:Frame.Broadcast ~tags
+        ~payload:(Payload.Probe { origin; forward_tags = tag_bytes tags })
+    in
+    Agent.send_raw agent frame;
+    Engine.run eng;
+    match !captured with
+    | None -> Probe_walk.Lost
+    | Some f -> (
+      match f.Frame.payload with
+      | Payload.Probe { origin = o; _ } when o = origin -> Probe_walk.Bounced
+      | Payload.Id_reply { switch } -> Probe_walk.Switch_id switch
+      | Payload.Probe_reply { responder; knows_controller } ->
+        Probe_walk.Host_reply { responder; knows_controller }
+      | _ -> Probe_walk.Lost)
+
+let discover ?(packet_level = false) ~agent ~max_ports () =
+  let origin = Agent.self agent in
+  let prober =
+    if packet_level then packet_prober ~agent
+    else begin
+      let g = Network.graph (Agent.network agent) in
+      fun tags -> Probe_walk.probe g ~origin ~tags
+    end
+  in
+  Discovery.run ~prober ~origin ~max_ports ()

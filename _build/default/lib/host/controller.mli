@@ -1,0 +1,81 @@
+(** The controller service: an ordinary host agent with the global view
+    wired in (§4).
+
+    It owns a {!Dumbnet_control.Topo_store}, answers path queries,
+    applies link events it hears (stage 1) and floods versioned topology
+    patches (stage 2), journals every change through the replica cluster
+    standing in for ZooKeeper, and — at bootstrap — pushes each host its
+    identity, flood-peer list, the path graph to the controller, and
+    path graphs to its flood peers. *)
+
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type t
+
+val create :
+  ?replicas:int ->
+  ?s:int ->
+  ?eps:int ->
+  ?query_service_ns:int ->
+  agent:Agent.t ->
+  topology:Graph.t ->
+  hosts:host_id list ->
+  unit ->
+  t
+(** [topology] is the discovered view (the store copies it); [hosts] are
+    the fabric's hosts (self excluded automatically). [replicas]
+    (default 3) sizes the stand-in ZooKeeper ensemble; [s]/[eps] are the
+    Algorithm-1 path-graph knobs used for every response.
+    [query_service_ns] (default 40 µs) is the controller's per-query
+    service time — queries are served in arrival order by one CPU, so
+    synchronized query storms queue (the Fig 10 tail). *)
+
+val agent : t -> Agent.t
+
+val store : t -> Dumbnet_control.Topo_store.t
+
+val replicas : t -> Payload.change Dumbnet_control.Replica.t
+
+val bootstrap_push : t -> unit
+(** Send every host: [Controller_hello], its [Peer_list], the host→
+    controller path graph, and host→peer path graphs for its overlay. *)
+
+val flood_peers_of : t -> host_id -> host_id list
+(** Hosts on the same switch, then on adjacent switches (capped). *)
+
+val serve : t -> src:host_id -> dst:host_id -> Pathgraph.t option
+(** Compute a path-graph response (also used as the agent's local path
+    service). *)
+
+val patches_sent : t -> int
+
+val set_prober : t -> Dumbnet_control.Discovery.prober -> unit
+(** Arm the probing subsystem used to rediscover newly-added cables
+    (§4.2): on a port-up for an unknown port, the controller scans the
+    candidate return ports of the new neighbour with targeted
+    F·p·0·q·R·ø probes, records the confirmed link and patches all
+    hosts. {!Fabric.create} arms it automatically. *)
+
+val start_heartbeats : ?interval_ns:int -> t -> standbys:host_id list -> unit
+(** Periodically re-announce [Controller_hello] to the standby replicas
+    (default every 100 ms) so they can detect the primary's death.
+    Runs for the lifetime of the simulation. *)
+
+(** {1 Packet-level discovery} *)
+
+val packet_prober : agent:Agent.t -> Dumbnet_control.Discovery.prober
+(** A {!Dumbnet_control.Discovery.prober} that sends real probe frames
+    from this agent through the simulator and runs the engine to
+    quiescence to collect the response — the fully in-protocol
+    (testbed-style) discovery path. Every other host must already run
+    an agent so probes get answered. *)
+
+val discover :
+  ?packet_level:bool -> agent:Agent.t -> max_ports:int -> unit ->
+  Dumbnet_control.Discovery.result option
+(** Run full discovery from this agent's host: packet-level (real
+    frames) or, by default, against the fast {!Dumbnet_control.Probe_walk}
+    oracle on the ground-truth graph — both execute the identical BFS
+    protocol. *)

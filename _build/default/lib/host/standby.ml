@@ -1,0 +1,64 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_sim
+module Topo_store = Dumbnet_control.Topo_store
+
+let log_src = Dumbnet_util.Logging.src "standby"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  agent : Agent.t;
+  view : Graph.t;
+  hosts : host_id list;
+  takeover_after_ns : int;
+  check_interval_ns : int;
+  mutable last_hello_ns : int;
+  mutable ctrl : Controller.t option;
+}
+
+let promoted t = t.ctrl <> None
+
+let controller t = t.ctrl
+
+let mirrored_topology t = t.view
+
+let promote t =
+  if t.ctrl = None then begin
+    Log.warn (fun m ->
+        m "standby H%d: primary heartbeats lost, promoting to controller"
+          (Agent.self t.agent));
+    let ctrl = Controller.create ~agent:t.agent ~topology:t.view ~hosts:t.hosts () in
+    t.ctrl <- Some ctrl;
+    (* Re-announce: every host learns the new controller and gets a
+       fresh query channel. *)
+    Controller.bootstrap_push ctrl
+  end
+
+let create ?(takeover_after_ns = 350_000_000) ?(check_interval_ns = 50_000_000) ~agent
+    ~topology ~hosts () =
+  let engine = Network.engine (Agent.network agent) in
+  let t =
+    {
+      agent;
+      view = Graph.copy topology;
+      hosts;
+      takeover_after_ns;
+      check_interval_ns;
+      last_hello_ns = Engine.now engine;
+      ctrl = None;
+    }
+  in
+  Agent.set_hello_hook agent (fun ~controller ->
+      if controller <> Agent.self agent then t.last_hello_ns <- Engine.now engine);
+  (* Mirror the primary's view from the patch stream. *)
+  Agent.set_patch_hook agent (fun ~version:_ changes ->
+      if t.ctrl = None then Topo_store.apply_patch t.view changes);
+  let rec watch () =
+    if t.ctrl = None then begin
+      if Engine.now engine - t.last_hello_ns > t.takeover_after_ns then promote t
+      else Engine.schedule_daemon engine ~delay_ns:t.check_interval_ns watch
+    end
+  in
+  Engine.schedule_daemon engine ~delay_ns:t.check_interval_ns watch;
+  t

@@ -1,0 +1,36 @@
+(** Standby controller replicas (paper §4.1 "Multiple controllers",
+    §4.2 controller fault tolerance).
+
+    A standby is an ordinary host that mirrors the primary's topology
+    view by applying the stage-2 patches it receives (the same change
+    stream the ZooKeeper stand-in journals) and watches the primary's
+    periodic [Controller_hello] heartbeats. When heartbeats stop for
+    longer than the takeover timeout, the standby promotes itself: it
+    starts a full controller service on its mirrored view and
+    re-announces itself to every host, restoring path-query service. *)
+
+open Dumbnet_topology
+open Types
+
+type t
+
+val create :
+  ?takeover_after_ns:int ->
+  ?check_interval_ns:int ->
+  agent:Agent.t ->
+  topology:Graph.t ->
+  hosts:host_id list ->
+  unit ->
+  t
+(** [topology] is the view at creation time (normally the primary's
+    discovered topology); the standby keeps it current from patches.
+    Defaults: promote after 350 ms of heartbeat silence, checked every
+    50 ms. Watching starts immediately. *)
+
+val promoted : t -> bool
+
+val controller : t -> Controller.t option
+(** The live controller service, once promoted. *)
+
+val mirrored_topology : t -> Graph.t
+(** The standby's current view (for tests: must track the primary). *)

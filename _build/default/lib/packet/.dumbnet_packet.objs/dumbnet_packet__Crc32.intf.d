@@ -1,0 +1,1 @@
+lib/packet/crc32.mli: Bytes

@@ -1,0 +1,1 @@
+lib/packet/frame.ml: Buffer Bytes Char Crc32 Dumbnet_topology Format Int32 List Payload Tag Types Wire

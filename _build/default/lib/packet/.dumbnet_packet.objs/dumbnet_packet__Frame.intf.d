@@ -1,0 +1,1 @@
+lib/packet/frame.mli: Bytes Dumbnet_topology Format Payload Tag Types

@@ -1,0 +1,1 @@
+lib/packet/mpls.ml: Bytes Char Dumbnet_topology Fun List Tag

@@ -1,0 +1,1 @@
+lib/packet/payload.ml: Bytes Dumbnet_topology Format List Path Pathgraph Printf String Wire

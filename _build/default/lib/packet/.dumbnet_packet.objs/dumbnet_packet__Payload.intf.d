@@ -1,0 +1,1 @@
+lib/packet/payload.mli: Bytes Dumbnet_topology Format Pathgraph

@@ -1,0 +1,1 @@
+lib/packet/tag.ml: Char Dumbnet_topology Format List Types

@@ -1,0 +1,1 @@
+lib/packet/tag.mli: Dumbnet_topology Format Types

@@ -1,0 +1,1 @@
+lib/packet/wire.ml: Buffer Bytes Char Int32 List

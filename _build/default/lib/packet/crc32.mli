@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3 polynomial), used as the Ethernet frame check
+    sequence that host agents must regenerate after removing the ø tag. *)
+
+val digest : Bytes.t -> int32
+(** CRC-32 of the whole buffer. *)
+
+val digest_sub : Bytes.t -> pos:int -> len:int -> int32
+(** CRC-32 of a slice. Raises [Invalid_argument] on bad bounds. *)

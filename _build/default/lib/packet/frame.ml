@@ -1,0 +1,208 @@
+open Dumbnet_topology
+open Types
+
+type addr =
+  | Node of endpoint
+  | Broadcast
+
+let ethertype_dumbnet = 0x9800
+
+let ethertype_notice = 0x9801
+
+let ethertype_ip = 0x0800
+
+type priority =
+  | High
+  | Normal
+
+type t = {
+  dst : addr;
+  src : addr;
+  ethertype : int;
+  tags : Tag.t list;
+  ecn : bool;
+  priority : priority;
+  payload : Payload.t;
+}
+
+let mark_ecn t = if t.ecn then t else { t with ecn = true }
+
+let with_priority priority t = { t with priority }
+
+let priority_of_payload = function
+  | Payload.Data _ -> Normal
+  | Payload.Probe _ | Payload.Probe_reply _ | Payload.Id_reply _ | Payload.Port_notice _
+  | Payload.Host_flood _ | Payload.Topo_patch _ | Payload.Path_query _
+  | Payload.Path_response _ | Payload.Controller_hello _ | Payload.Peer_list _
+  | Payload.Ecn_echo _ | Payload.Rts _ | Payload.Token _ ->
+    High
+
+let rec ends_with_terminator = function
+  | [] -> false
+  | [ Tag.End_of_path ] -> true
+  | Tag.End_of_path :: _ -> false (* ø must be last *)
+  | (Tag.Forward _ | Tag.Id_query) :: rest -> ends_with_terminator rest
+
+let dumbnet ~src ~dst ~tags ~payload =
+  if not (ends_with_terminator tags) then
+    invalid_arg "Frame.dumbnet: tag sequence must end with a single ø";
+  {
+    dst;
+    src = Node (Host src);
+    ethertype = ethertype_dumbnet;
+    tags;
+    ecn = false;
+    priority = priority_of_payload payload;
+    payload;
+  }
+
+let along_path ~src ~dst ~tags_of ~payload =
+  dumbnet ~src ~dst:(Node (Host dst)) ~tags:(Tag.of_ports tags_of) ~payload
+
+let notice ~origin ~event ~hops_left =
+  {
+    dst = Broadcast;
+    src = Node (Switch origin);
+    ethertype = ethertype_notice;
+    tags = [];
+    ecn = false;
+    priority = High;
+    payload = Payload.Port_notice { event; hops_left };
+  }
+
+let plain ~src ~dst ~payload =
+  {
+    dst = Node (Host dst);
+    src = Node (Host src);
+    ethertype = ethertype_ip;
+    tags = [];
+    ecn = false;
+    priority = priority_of_payload payload;
+    payload;
+  }
+
+let eth_header = 14 (* 2 x MAC + EtherType *)
+
+let fcs = 4
+
+let header_bytes t = eth_header + List.length t.tags + 1 (* ECN byte *) + fcs
+
+let byte_size t = header_bytes t + Payload.byte_size t.payload
+
+(* MAC layout: byte 0 encodes the address class (0x02 host, 0x04 switch,
+   0xFF broadcast), bytes 1-4 the 32-bit id, byte 5 zero. *)
+let mac_of_addr = function
+  | Broadcast -> Bytes.make 6 '\xff'
+  | Node ep ->
+    let cls, id =
+      match ep with
+      | Host h -> ('\x02', h)
+      | Switch s -> ('\x04', s)
+    in
+    let b = Bytes.make 6 '\x00' in
+    Bytes.set b 0 cls;
+    Bytes.set b 1 (Char.chr ((id lsr 24) land 0xFF));
+    Bytes.set b 2 (Char.chr ((id lsr 16) land 0xFF));
+    Bytes.set b 3 (Char.chr ((id lsr 8) land 0xFF));
+    Bytes.set b 4 (Char.chr (id land 0xFF));
+    b
+
+let addr_of_mac b pos =
+  match Bytes.get b pos with
+  | '\xff' -> Broadcast
+  | cls ->
+    let id =
+      (Char.code (Bytes.get b (pos + 1)) lsl 24)
+      lor (Char.code (Bytes.get b (pos + 2)) lsl 16)
+      lor (Char.code (Bytes.get b (pos + 3)) lsl 8)
+      lor Char.code (Bytes.get b (pos + 4))
+    in
+    (match cls with
+    | '\x02' -> Node (Host id)
+    | '\x04' -> Node (Switch id)
+    | _ -> raise Wire.Truncated)
+
+let to_bytes t =
+  let buf = Buffer.create 128 in
+  Buffer.add_bytes buf (mac_of_addr t.dst);
+  Buffer.add_bytes buf (mac_of_addr t.src);
+  Buffer.add_char buf (Char.chr ((t.ethertype lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (t.ethertype land 0xFF));
+  if t.ethertype = ethertype_dumbnet then
+    List.iter (fun tag -> Buffer.add_char buf (Tag.to_byte tag)) t.tags;
+  (* One TOS-like byte: bits 0-1 the ECN codepoint, bit 2 the priority
+     class (conceptually the IP header's TOS, kept adjacent for the
+     simulator's framing). *)
+  let tos = (if t.ecn then 0x03 else 0x00) lor (if t.priority = High then 0x04 else 0x00) in
+  Buffer.add_char buf (Char.chr tos);
+  let payload = Payload.encode t.payload in
+  Buffer.add_char buf (Char.chr ((Bytes.length payload lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (Bytes.length payload land 0xFF));
+  Buffer.add_bytes buf payload;
+  let body = Buffer.to_bytes buf in
+  let crc = Crc32.digest body in
+  let out = Bytes.create (Bytes.length body + 4) in
+  Bytes.blit body 0 out 0 (Bytes.length body);
+  Bytes.set out (Bytes.length body) (Char.chr (Int32.to_int (Int32.shift_right_logical crc 24) land 0xFF));
+  Bytes.set out (Bytes.length body + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical crc 16) land 0xFF));
+  Bytes.set out (Bytes.length body + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical crc 8) land 0xFF));
+  Bytes.set out (Bytes.length body + 3) (Char.chr (Int32.to_int crc land 0xFF));
+  out
+
+let of_bytes b =
+  let len = Bytes.length b in
+  if len < eth_header + 2 + fcs then raise Wire.Truncated;
+  let body_len = len - 4 in
+  let stored =
+    Int32.logor
+      (Int32.shift_left (Int32.of_int (Char.code (Bytes.get b body_len))) 24)
+      (Int32.logor
+         (Int32.shift_left (Int32.of_int (Char.code (Bytes.get b (body_len + 1)))) 16)
+         (Int32.logor
+            (Int32.shift_left (Int32.of_int (Char.code (Bytes.get b (body_len + 2)))) 8)
+            (Int32.of_int (Char.code (Bytes.get b (body_len + 3))))))
+  in
+  if Crc32.digest_sub b ~pos:0 ~len:body_len <> stored then raise Wire.Truncated;
+  let dst = addr_of_mac b 0 in
+  let src = addr_of_mac b 6 in
+  let ethertype = (Char.code (Bytes.get b 12) lsl 8) lor Char.code (Bytes.get b 13) in
+  let pos = ref 14 in
+  let tags = ref [] in
+  if ethertype = ethertype_dumbnet then begin
+    (* Tags run until (and including) the ø byte. *)
+    let stop = ref false in
+    while not !stop do
+      if !pos >= body_len then raise Wire.Truncated;
+      let tag = Tag.of_byte (Bytes.get b !pos) in
+      incr pos;
+      tags := tag :: !tags;
+      if tag = Tag.End_of_path then stop := true
+    done
+  end;
+  if !pos + 1 > body_len then raise Wire.Truncated;
+  let tos = Char.code (Bytes.get b !pos) in
+  if tos land (lnot 0x07) <> 0 || tos land 0x03 = 0x01 || tos land 0x03 = 0x02 then
+    raise Wire.Truncated;
+  let ecn = tos land 0x03 = 0x03 in
+  let priority = if tos land 0x04 <> 0 then High else Normal in
+  incr pos;
+  if !pos + 2 > body_len then raise Wire.Truncated;
+  let plen = (Char.code (Bytes.get b !pos) lsl 8) lor Char.code (Bytes.get b (!pos + 1)) in
+  pos := !pos + 2;
+  if !pos + plen <> body_len then raise Wire.Truncated;
+  let payload = Payload.decode (Bytes.sub b !pos plen) in
+  { dst; src; ethertype; tags = List.rev !tags; ecn; priority; payload }
+
+let equal a b =
+  a.dst = b.dst && a.src = b.src && a.ethertype = b.ethertype && a.tags = b.tags
+  && a.ecn = b.ecn && a.priority = b.priority
+  && Payload.equal a.payload b.payload
+
+let pp_addr ppf = function
+  | Broadcast -> Format.fprintf ppf "bcast"
+  | Node ep -> pp_endpoint ppf ep
+
+let pp ppf t =
+  Format.fprintf ppf "[%a->%a 0x%04x tags=%a %a]" pp_addr t.src pp_addr t.dst t.ethertype
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "-") Tag.pp)
+    t.tags Payload.pp t.payload

@@ -1,0 +1,84 @@
+(** Ethernet-compatible DumbNet frames (paper §5.1, Figure 3).
+
+    A frame keeps the original Ethernet header intact; routing tags sit
+    between it and the payload under the dedicated EtherType 0x9800, so
+    DumbNet traffic coexists with normal Ethernet on the same fabric.
+    The simulator passes the structured value around; [to_bytes] /
+    [of_bytes] realize the exact on-wire layout (including the ø
+    terminator and the frame check sequence) for conformance tests. *)
+
+open Dumbnet_topology
+open Types
+
+(** Frame addressing. Switches are addressable only as sources (ID
+    replies, port notices) — they never parse destination MACs. *)
+type addr =
+  | Node of endpoint
+  | Broadcast
+
+(** Two-level strict priority (paper §3.1: multi-queue/priority are
+    hardware features that keep the switch stateless — the class rides
+    in the packet, the switch just serves the high queue first).
+    Control-plane frames default to [High]. *)
+type priority =
+  | High
+  | Normal
+
+val ethertype_dumbnet : int
+(** 0x9800 — tagged DumbNet frames. *)
+
+val ethertype_notice : int
+(** 0x9801 — hop-limited switch port notices (not source-routed). *)
+
+val ethertype_ip : int
+(** 0x0800 — what the payload reverts to once tags are stripped. *)
+
+type t = {
+  dst : addr;
+  src : addr;
+  ethertype : int;
+  tags : Tag.t list;  (** present iff [ethertype = ethertype_dumbnet] *)
+  ecn : bool;  (** congestion-experienced mark (IP ECN CE); switches set
+                   it statelessly when their egress queue is deep *)
+  priority : priority;
+  payload : Payload.t;
+}
+
+val mark_ecn : t -> t
+
+val with_priority : priority -> t -> t
+
+val priority_of_payload : Payload.t -> priority
+(** [High] for everything except bulk [Data]. *)
+
+val dumbnet : src:host_id -> dst:addr -> tags:Tag.t list -> payload:Payload.t -> t
+(** A source-routed frame as a host agent emits it; priority defaults
+    by payload class. Raises [Invalid_argument] if [tags] lacks a final
+    [End_of_path]. *)
+
+val along_path : src:host_id -> dst:host_id -> tags_of:port list -> payload:Payload.t -> t
+(** Convenience: tag the given output-port sequence and terminate it. *)
+
+val notice : origin:switch_id -> event:Payload.link_event -> hops_left:int -> t
+(** A switch's hop-limited broadcast after a port state change. *)
+
+val plain : src:host_id -> dst:host_id -> payload:Payload.t -> t
+(** An untagged Ethernet/IP frame (what remains after ø removal, or
+    host-to-host traffic outside the fabric). *)
+
+val header_bytes : t -> int
+(** Ethernet header + tag bytes + FCS — everything except the payload. *)
+
+val byte_size : t -> int
+(** Total wire size charged to links by the simulator. *)
+
+val to_bytes : t -> Bytes.t
+(** Exact wire layout: dst MAC, src MAC, EtherType, tags (0x9800 only),
+    encoded payload, CRC-32 FCS. *)
+
+val of_bytes : Bytes.t -> t
+(** Raises {!Wire.Truncated} on malformed input or FCS mismatch. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+type entry = {
+  label : int;
+  traffic_class : int;
+  bottom : bool;
+  ttl : int;
+}
+
+let entry_bytes = 4
+
+let label_end_of_path = 0xFF
+
+let default_ttl = 64
+
+let label_of_tag = function
+  | Tag.Forward p -> p
+  | Tag.Id_query -> 0
+  | Tag.End_of_path -> label_end_of_path
+
+let of_tags tags =
+  let n = List.length tags in
+  if n = 0 then invalid_arg "Mpls.of_tags: empty tag sequence";
+  (match List.rev tags with
+  | Tag.End_of_path :: rest when not (List.mem Tag.End_of_path rest) -> ()
+  | _ -> invalid_arg "Mpls.of_tags: sequence must end with a single ø");
+  List.mapi
+    (fun i tag ->
+      { label = label_of_tag tag; traffic_class = 0; bottom = i = n - 1; ttl = default_ttl })
+    tags
+
+let to_tags entries =
+  let n = List.length entries in
+  if n = 0 then None
+  else begin
+    let ok_flags = List.for_all2 (fun e i -> e.bottom = (i = n - 1)) entries (List.init n Fun.id) in
+    if not ok_flags then None
+    else begin
+      let tag_of e =
+        if e.label = 0 then Some Tag.Id_query
+        else if e.label = label_end_of_path then Some Tag.End_of_path
+        else if e.label >= 1 && e.label <= Dumbnet_topology.Types.max_port then
+          Some (Tag.Forward e.label)
+        else None
+      in
+      let tags = List.filter_map tag_of entries in
+      if List.length tags = n then Some tags else None
+    end
+  end
+
+let encode entries =
+  let b = Bytes.create (entry_bytes * List.length entries) in
+  List.iteri
+    (fun i e ->
+      (* label(20) | tc(3) | s(1) | ttl(8), big-endian *)
+      let word =
+        (e.label lsl 12)
+        lor ((e.traffic_class land 0x7) lsl 9)
+        lor ((if e.bottom then 1 else 0) lsl 8)
+        lor (e.ttl land 0xFF)
+      in
+      Bytes.set b (4 * i) (Char.chr ((word lsr 24) land 0xFF));
+      Bytes.set b ((4 * i) + 1) (Char.chr ((word lsr 16) land 0xFF));
+      Bytes.set b ((4 * i) + 2) (Char.chr ((word lsr 8) land 0xFF));
+      Bytes.set b ((4 * i) + 3) (Char.chr (word land 0xFF)))
+    entries;
+  b
+
+let decode b =
+  let len = Bytes.length b in
+  if len mod entry_bytes <> 0 || len = 0 then None
+  else begin
+    let n = len / entry_bytes in
+    let entry i =
+      let byte k = Char.code (Bytes.get b ((4 * i) + k)) in
+      let word = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+      {
+        label = word lsr 12;
+        traffic_class = (word lsr 9) land 0x7;
+        bottom = (word lsr 8) land 1 = 1;
+        ttl = word land 0xFF;
+      }
+    in
+    Some (List.init n entry)
+  end
+
+let stack_bytes tags = entry_bytes * List.length tags
+
+let max_path_length ~mtu ~standard_mtu =
+  let headroom = standard_mtu - mtu in
+  if headroom < entry_bytes then 0 else (headroom / entry_bytes) - 1

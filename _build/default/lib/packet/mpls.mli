@@ -1,0 +1,42 @@
+(** MPLS encoding of routing tags (paper §5.3).
+
+    On commodity switches DumbNet rides on MPLS: each routing tag
+    becomes a 4-byte label stack entry whose label value is the output
+    port (0 = ID query, 255 = ø); static rules on the switch map label
+    values to physical ports. The host MTU is lowered to leave room for
+    the label stack. *)
+
+type entry = {
+  label : int;  (** 20 bits *)
+  traffic_class : int;  (** 3 bits *)
+  bottom : bool;  (** bottom-of-stack flag, set on the last entry *)
+  ttl : int;  (** 8 bits *)
+}
+
+val entry_bytes : int
+(** 4. *)
+
+val label_end_of_path : int
+(** 255, the label value carrying ø. *)
+
+val default_ttl : int
+(** 64. *)
+
+val of_tags : Tag.t list -> entry list
+(** Raises [Invalid_argument] unless the sequence ends with a single ø
+    (same contract as {!Frame.dumbnet}). *)
+
+val to_tags : entry list -> Tag.t list option
+(** [None] if the stack is empty, the bottom flag is misplaced, or a
+    label exceeds the port range. *)
+
+val encode : entry list -> Bytes.t
+
+val decode : Bytes.t -> entry list option
+
+val stack_bytes : Tag.t list -> int
+(** Wire overhead of the label stack for this tag sequence. *)
+
+val max_path_length : mtu:int -> standard_mtu:int -> int
+(** How many forwarding hops fit in the headroom created by lowering
+    the host MTU (e.g. 1450 under a standard 1500: 11 hops + ø). *)

@@ -1,0 +1,39 @@
+open Dumbnet_topology
+open Types
+
+type t =
+  | Forward of port
+  | Id_query
+  | End_of_path
+
+let forward port =
+  if port < 1 || port > max_port then invalid_arg "Tag.forward: port out of range";
+  Forward port
+
+let to_byte = function
+  | Forward p -> Char.chr p
+  | Id_query -> '\x00'
+  | End_of_path -> '\xff'
+
+let of_byte c =
+  match Char.code c with
+  | 0 -> Id_query
+  | 0xFF -> End_of_path
+  | p -> Forward p
+
+let equal a b = a = b
+
+let pp ppf = function
+  | Forward p -> Format.fprintf ppf "%d" p
+  | Id_query -> Format.fprintf ppf "id?"
+  | End_of_path -> Format.fprintf ppf "ø"
+
+let of_ports ports = List.map forward ports @ [ End_of_path ]
+
+let to_ports tags =
+  let rec go acc = function
+    | [ End_of_path ] -> Some (List.rev acc)
+    | Forward p :: rest -> go (p :: acc) rest
+    | [] | End_of_path :: _ | Id_query :: _ -> None
+  in
+  go [] tags

@@ -1,0 +1,32 @@
+(** Routing tags — the only thing a DumbNet switch ever reads.
+
+    One byte each: [0] asks the switch to reply with its unique ID,
+    [0xFF] (ø) marks the end of the path, and any other value is the
+    output port for the current hop. *)
+
+open Dumbnet_topology
+open Types
+
+type t =
+  | Forward of port  (** output port at the current hop, 1..254 *)
+  | Id_query  (** tag 0: reply with the switch ID along the rest of the path *)
+  | End_of_path  (** ø = 0xFF: the packet has arrived; hosts strip it *)
+
+val forward : port -> t
+(** Raises [Invalid_argument] outside 1..{!Dumbnet_topology.Types.max_port}. *)
+
+val to_byte : t -> char
+
+val of_byte : char -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val of_ports : port list -> t list
+(** [of_ports ports] is the tag sequence for a path: one [Forward] per
+    port followed by [End_of_path]. *)
+
+val to_ports : t list -> port list option
+(** Inverse of {!of_ports}: [None] unless the sequence is forwards
+    terminated by exactly one ø. *)

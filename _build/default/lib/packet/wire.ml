@@ -1,0 +1,95 @@
+exception Truncated
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xFF))
+
+  let u16 t v =
+    u8 t (v lsr 8);
+    u8 t v
+
+  let u32 t v =
+    u16 t (Int32.to_int (Int32.shift_right_logical v 16));
+    u16 t (Int32.to_int v)
+
+  let int t v =
+    for byte = 7 downto 0 do
+      u8 t ((v asr (8 * byte)) land 0xFF)
+    done
+
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let bytes t b =
+    u16 t (Bytes.length b);
+    Buffer.add_bytes t b
+
+  let list t f l =
+    u16 t (List.length l);
+    List.iter (f t) l
+
+  let option t f = function
+    | None -> u8 t 0
+    | Some v ->
+      u8 t 1;
+      f t v
+
+  let contents t = Buffer.to_bytes t
+end
+
+module Reader = struct
+  type t = { buf : Bytes.t; mutable pos : int }
+
+  let of_bytes buf = { buf; pos = 0 }
+
+  let u8 t =
+    if t.pos >= Bytes.length t.buf then raise Truncated;
+    let v = Char.code (Bytes.get t.buf t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let hi = u8 t in
+    (hi lsl 8) lor u8 t
+
+  let u32 t =
+    let hi = u16 t in
+    Int32.logor
+      (Int32.shift_left (Int32.of_int hi) 16)
+      (Int32.of_int (u16 t))
+
+  let int t =
+    let v = ref 0 in
+    for _ = 1 to 8 do
+      v := (!v lsl 8) lor u8 t
+    done;
+    (* Sign-extend from 64 stored bits down to OCaml's int. *)
+    !v
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | _ -> raise Truncated
+
+  let bytes t =
+    let len = u16 t in
+    if t.pos + len > Bytes.length t.buf then raise Truncated;
+    let b = Bytes.sub t.buf t.pos len in
+    t.pos <- t.pos + len;
+    b
+
+  let list t f =
+    let n = u16 t in
+    List.init n (fun _ -> f t)
+
+  let option t f =
+    match u8 t with
+    | 0 -> None
+    | 1 -> Some (f t)
+    | _ -> raise Truncated
+
+  let at_end t = t.pos = Bytes.length t.buf
+end

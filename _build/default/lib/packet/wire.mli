@@ -1,0 +1,57 @@
+(** Byte-level encoding helpers shared by the frame and payload codecs.
+    All integers are big-endian (network order). *)
+
+exception Truncated
+(** Raised by readers on premature end of input or malformed data. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val u8 : t -> int -> unit
+  (** Low 8 bits. *)
+
+  val u16 : t -> int -> unit
+
+  val u32 : t -> int32 -> unit
+
+  val int : t -> int -> unit
+  (** Full OCaml int as a signed 63-bit value in 8 bytes. *)
+
+  val bool : t -> bool -> unit
+
+  val bytes : t -> Bytes.t -> unit
+  (** Length-prefixed (u16). *)
+
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  (** u16 count followed by the elements. *)
+
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+
+  val contents : t -> Bytes.t
+end
+
+module Reader : sig
+  type t
+
+  val of_bytes : Bytes.t -> t
+
+  val u8 : t -> int
+
+  val u16 : t -> int
+
+  val u32 : t -> int32
+
+  val int : t -> int
+
+  val bool : t -> bool
+
+  val bytes : t -> Bytes.t
+
+  val list : t -> (t -> 'a) -> 'a list
+
+  val option : t -> (t -> 'a) -> 'a option
+
+  val at_end : t -> bool
+end

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Dumbnet_util Option

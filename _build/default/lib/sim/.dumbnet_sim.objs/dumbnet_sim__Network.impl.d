@@ -1,0 +1,1 @@
+lib/sim/network.ml: Dumbnet_packet Dumbnet_switch Dumbnet_topology Engine Float Frame Graph Hashtbl List Nic Printf Types

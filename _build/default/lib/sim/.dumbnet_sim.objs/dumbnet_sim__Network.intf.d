@@ -1,0 +1,1 @@
+lib/sim/network.mli: Dumbnet_packet Dumbnet_switch Dumbnet_topology Engine Frame Graph Nic Types

@@ -1,0 +1,62 @@
+module Heap = Dumbnet_util.Heap
+
+type event = { daemon : bool; fn : unit -> unit }
+
+type t = {
+  mutable clock : int;
+  queue : (int, event) Heap.t;
+  mutable processed : int;
+  mutable regular : int; (* pending non-daemon events *)
+}
+
+let create () = { clock = 0; queue = Heap.create ~compare; processed = 0; regular = 0 }
+
+let now t = t.clock
+
+let push t at ~daemon fn =
+  Heap.push t.queue at { daemon; fn };
+  if not daemon then t.regular <- t.regular + 1
+
+let schedule t ~delay_ns f =
+  if delay_ns < 0 then invalid_arg "Engine.schedule: negative delay";
+  push t (t.clock + delay_ns) ~daemon:false f
+
+let schedule_at t ~at_ns f =
+  if at_ns < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  push t at_ns ~daemon:false f
+
+let schedule_daemon t ~delay_ns f =
+  if delay_ns < 0 then invalid_arg "Engine.schedule_daemon: negative delay";
+  push t (t.clock + delay_ns) ~daemon:true f
+
+let run ?until_ns ?max_events t =
+  let budget = ref (Option.value max_events ~default:max_int) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    (* Without a time bound, stop when only daemons remain. *)
+    if until_ns = None && t.regular = 0 then continue := false
+    else
+      match Heap.peek t.queue with
+      | None -> continue := false
+      | Some (at, _) -> (
+        match until_ns with
+        | Some limit when at > limit -> continue := false
+        | Some _ | None -> (
+          match Heap.pop t.queue with
+          | None -> continue := false
+          | Some (at, e) ->
+            t.clock <- max t.clock at;
+            t.processed <- t.processed + 1;
+            if not e.daemon then t.regular <- t.regular - 1;
+            decr budget;
+            e.fn ()))
+  done;
+  match until_ns with
+  | Some limit when t.clock < limit && Option.is_none max_events -> t.clock <- limit
+  | Some _ | None -> ()
+
+let pending t = Heap.size t.queue
+
+let pending_regular t = t.regular
+
+let events_processed t = t.processed

@@ -1,0 +1,298 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+module Dataplane = Dumbnet_switch.Dataplane
+module Monitor = Dumbnet_switch.Monitor
+
+type config = {
+  bandwidth_gbps : float;
+  propagation_ns : int;
+  queue_bytes : int;
+  switch_latency_ns : int;
+  ecn_threshold_bytes : int option;
+}
+
+let default_config =
+  {
+    bandwidth_gbps = 10.;
+    propagation_ns = 500;
+    queue_bytes = 512 * 1024;
+    switch_latency_ns = 400;
+    ecn_threshold_bytes = None;
+  }
+
+type stats = {
+  mutable host_tx : int;
+  mutable ecn_marked : int;
+  mutable host_rx : int;
+  mutable switch_hops : int;
+  mutable queue_drops : int;
+  mutable dataplane_drops : int;
+  mutable bytes_delivered : int;
+}
+
+(* One egress direction of a link (from a switch port or a host NIC).
+   Two virtual lanes model strict priority (paper §3.1): high-priority
+   frames only queue behind other high-priority frames, normal frames
+   behind everything. Packet/byte counters are the switch's stateless
+   statistics (paper §8). *)
+type egress = {
+  mutable bandwidth_gbps : float;
+  mutable busy_until : int; (* all traffic *)
+  mutable high_busy_until : int; (* the high-priority lane *)
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+type host_state = {
+  mutable nic : Nic.mode;
+  mutable handler : (Frame.t -> unit) option;
+  mutable next_tx : int; (* earliest time the NIC may emit again *)
+  out : egress;
+}
+
+type t = {
+  eng : Engine.t;
+  g : Graph.t;
+  config : config;
+  ports : (switch_id * port, egress) Hashtbl.t;
+  hosts : (host_id, host_state) Hashtbl.t;
+  monitors : (switch_id, Monitor.t) Hashtbl.t;
+  stats : stats;
+}
+
+let engine t = t.eng
+
+let graph t = t.g
+
+let stats t = t.stats
+
+let create ?(config = default_config) ~engine:eng ~graph:g () =
+  let t =
+    {
+      eng;
+      g;
+      config;
+      ports = Hashtbl.create 256;
+      hosts = Hashtbl.create 256;
+      monitors = Hashtbl.create 64;
+      stats =
+        {
+          host_tx = 0;
+          ecn_marked = 0;
+          host_rx = 0;
+          switch_hops = 0;
+          queue_drops = 0;
+          dataplane_drops = 0;
+          bytes_delivered = 0;
+        };
+    }
+  in
+  List.iter
+    (fun sw ->
+      Hashtbl.replace t.monitors sw (Monitor.create ~self:sw ());
+      for p = 1 to Graph.ports_of g sw do
+        Hashtbl.replace t.ports (sw, p)
+          {
+            bandwidth_gbps = config.bandwidth_gbps;
+            busy_until = 0;
+            high_busy_until = 0;
+            packets = 0;
+            bytes = 0;
+          }
+      done)
+    (Graph.switch_ids g);
+  List.iter
+    (fun h ->
+      Hashtbl.replace t.hosts h
+        {
+          nic = Nic.Dumbnet_agent;
+          handler = None;
+          next_tx = 0;
+          out =
+            {
+              bandwidth_gbps = config.bandwidth_gbps;
+              busy_until = 0;
+              high_busy_until = 0;
+              packets = 0;
+              bytes = 0;
+            };
+        })
+    (Graph.host_ids g);
+  t
+
+let host_state t h =
+  match Hashtbl.find_opt t.hosts h with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Network: unknown host %d" h)
+
+let set_host_handler t h f = (host_state t h).handler <- Some f
+
+let set_host_nic t h mode = (host_state t h).nic <- mode
+
+let set_port_bandwidth t le ~gbps =
+  match Hashtbl.find_opt t.ports (le.sw, le.port) with
+  | Some e -> e.bandwidth_gbps <- gbps
+  | None -> invalid_arg "Network.set_port_bandwidth: unknown port"
+
+let monitor t sw = Hashtbl.find t.monitors sw
+
+let port_counters t le =
+  match Hashtbl.find_opt t.ports (le.sw, le.port) with
+  | Some e -> (e.packets, e.bytes)
+  | None -> invalid_arg "Network.port_counters: unknown port"
+
+let busiest_ports t ~top =
+  Hashtbl.fold (fun (sw, port) e acc -> ({ sw; port }, e.bytes) :: acc) t.ports []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < top)
+
+let serialization_ns egress ~bytes =
+  int_of_float (Float.of_int (bytes * 8) /. egress.bandwidth_gbps)
+
+(* Charge the frame to an egress direction: drop-tail if the backlog
+   already exceeds the queue, otherwise serialize after the (per-lane)
+   queue drains and deliver after propagation. High-priority frames only
+   wait for the high lane — strict priority, approximated with two
+   virtual clocks. *)
+let transmit t egress frame ~deliver =
+  let now = Engine.now t.eng in
+  let bytes = Frame.byte_size frame in
+  let lane_until =
+    match frame.Frame.priority with
+    | Frame.High -> egress.high_busy_until
+    | Frame.Normal -> egress.busy_until
+  in
+  let backlog_ns = max 0 (lane_until - now) in
+  let backlog_bytes = int_of_float (Float.of_int backlog_ns *. egress.bandwidth_gbps /. 8.) in
+  if backlog_bytes > t.config.queue_bytes then t.stats.queue_drops <- t.stats.queue_drops + 1
+  else begin
+    (* Stateless ECN: mark when this instant's backlog is deep. *)
+    let frame =
+      match t.config.ecn_threshold_bytes with
+      | Some threshold when backlog_bytes > threshold ->
+        t.stats.ecn_marked <- t.stats.ecn_marked + 1;
+        Frame.mark_ecn frame
+      | Some _ | None -> frame
+    in
+    egress.packets <- egress.packets + 1;
+    egress.bytes <- egress.bytes + bytes;
+    let start = max now lane_until in
+    let finish = start + serialization_ns egress ~bytes in
+    (match frame.Frame.priority with
+    | Frame.High ->
+      egress.high_busy_until <- finish;
+      (* Normal traffic also waits behind the high lane. *)
+      egress.busy_until <- max egress.busy_until finish
+    | Frame.Normal -> egress.busy_until <- finish);
+    Engine.schedule_at t.eng ~at_ns:(finish + t.config.propagation_ns) (fun () -> deliver frame)
+  end
+
+let deliver_to_host t h frame =
+  let hs = host_state t h in
+  let delay = Nic.rx_latency_ns hs.nic in
+  Engine.schedule t.eng ~delay_ns:delay (fun () ->
+      t.stats.host_rx <- t.stats.host_rx + 1;
+      t.stats.bytes_delivered <- t.stats.bytes_delivered + Frame.byte_size frame;
+      match hs.handler with
+      | Some f -> f frame
+      | None -> ())
+
+let rec switch_receive t sw ~in_port frame =
+  Engine.schedule t.eng ~delay_ns:t.config.switch_latency_ns (fun () ->
+      t.stats.switch_hops <- t.stats.switch_hops + 1;
+      let num_ports = Graph.ports_of t.g sw in
+      let port_up p = Graph.link_up t.g { sw; port = p } in
+      match Dataplane.handle ~self:sw ~num_ports ~port_up ~in_port frame with
+      | Dataplane.Drop _ -> t.stats.dataplane_drops <- t.stats.dataplane_drops + 1
+      | Dataplane.Forward (p, frame') -> emit_from_switch t sw p frame'
+      | Dataplane.Flood frame' ->
+        List.iter
+          (fun (p, _) -> if p <> in_port then emit_from_switch t sw p frame')
+          (Graph.neighbors t.g sw))
+
+and emit_from_switch t sw p frame =
+  let le = { sw; port = p } in
+  if Graph.link_up t.g le then begin
+    let egress = Hashtbl.find t.ports (sw, p) in
+    match Graph.endpoint_at t.g le with
+    | Some (Host h) -> transmit t egress frame ~deliver:(deliver_to_host t h)
+    | Some (Switch peer) ->
+      let peer_end =
+        match Graph.peer_port t.g le with
+        | Some pe -> pe
+        | None -> assert false
+      in
+      transmit t egress frame ~deliver:(fun f -> switch_receive t peer ~in_port:peer_end.port f)
+    | None -> ()
+  end
+
+let host_send t h frame =
+  let hs = host_state t h in
+  match Graph.host_location t.g h with
+  | None -> ()
+  | Some loc ->
+    if Graph.link_up t.g loc then begin
+      t.stats.host_tx <- t.stats.host_tx + 1;
+      let now = Engine.now t.eng in
+      let gap = Nic.min_tx_gap_ns hs.nic in
+      let start = max now hs.next_tx in
+      hs.next_tx <- start + gap;
+      let depart = start + Nic.tx_latency_ns hs.nic in
+      Engine.schedule_at t.eng ~at_ns:depart (fun () ->
+          if Graph.link_up t.g loc then
+            transmit t hs.out frame ~deliver:(fun f -> switch_receive t loc.sw ~in_port:loc.port f))
+    end
+
+(* A link transition fires both ends' hardware monitors; unsuppressed
+   alarms flood from their switch. Host-side transitions have no switch
+   monitor on the host end. *)
+let port_transition t le ~up =
+  let fire le =
+    match Hashtbl.find_opt t.monitors le.sw with
+    | None -> ()
+    | Some mon -> (
+      match Monitor.on_port_event mon ~now_ns:(Engine.now t.eng) ~port:le.port ~up with
+      | None -> ()
+      | Some notice ->
+        List.iter
+          (fun (p, _) -> if p <> le.port then emit_from_switch t le.sw p notice)
+          (Graph.neighbors t.g le.sw))
+  in
+  let other = Graph.peer_port t.g le in
+  (* State must change before monitors emit so notices don't cross the
+     dead link; for link-up the reverse, so set state first always. *)
+  Graph.set_link_state t.g le ~up;
+  fire le;
+  match other with
+  | Some o -> fire o
+  | None -> ()
+
+let add_link t a b =
+  if not (Hashtbl.mem t.ports (a.sw, a.port) && Hashtbl.mem t.ports (b.sw, b.port)) then
+    invalid_arg "Network.add_link: unknown port";
+  Graph.connect t.g a b;
+  (* Both ends see the port come up. *)
+  let fire le =
+    match Hashtbl.find_opt t.monitors le.sw with
+    | None -> ()
+    | Some mon -> (
+      match Monitor.on_port_event mon ~now_ns:(Engine.now t.eng) ~port:le.port ~up:true with
+      | None -> ()
+      | Some notice ->
+        List.iter
+          (fun (p, _) -> if p <> le.port then emit_from_switch t le.sw p notice)
+          (Graph.neighbors t.g le.sw))
+  in
+  fire a;
+  fire b
+
+let fail_link t le =
+  if Graph.link_up t.g le then port_transition t le ~up:false
+
+let restore_link t le =
+  if not (Graph.link_up t.g le) then begin
+    match Graph.endpoint_at t.g le with
+    | None -> invalid_arg "Network.restore_link: empty port"
+    | Some _ -> port_transition t le ~up:true
+  end

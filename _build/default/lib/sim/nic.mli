@@ -1,0 +1,28 @@
+(** Host NIC / network-stack cost models.
+
+    The paper measures three host stacks (§7.2.2): native kernel
+    Ethernet, a no-op DPDK pipeline (KNI), and the DumbNet agent on top
+    of DPDK (with or without the MPLS header copy). We model each as a
+    minimum inter-packet gap (what bounds a single sender's throughput —
+    DPDK software does checksums and segmentation, capping a 10 GbE NIC
+    near 5.4 Gbps) plus a one-way latency adder (KNI batching costs
+    latency; the native stack is far quicker per packet). Constants are
+    calibrated so a 1450-byte-MTU flow reproduces Figure 9's 5.41 /
+    5.19 / 5.19 Gbps and Figure 10's latency ordering. *)
+
+type mode =
+  | Native  (** kernel Ethernet stack, no DPDK *)
+  | Dpdk_noop  (** DPDK pass-through, no packet processing *)
+  | Dpdk_mpls  (** DPDK plus one constant MPLS header copy *)
+  | Dumbnet_agent  (** full DumbNet host agent: lookup + tag insertion *)
+
+val min_tx_gap_ns : mode -> int
+(** Minimum spacing between consecutive packet transmissions. *)
+
+val tx_latency_ns : mode -> int
+(** One-way stack traversal delay added on send. *)
+
+val rx_latency_ns : mode -> int
+(** Same on receive (includes ø check and strip for [Dumbnet_agent]). *)
+
+val pp_mode : Format.formatter -> mode -> unit

@@ -1,0 +1,1 @@
+lib/switch/dataplane.ml: Dumbnet_packet Dumbnet_topology Format Frame Payload Tag Types

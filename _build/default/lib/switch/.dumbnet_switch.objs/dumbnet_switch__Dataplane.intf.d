@@ -1,0 +1,1 @@
+lib/switch/dataplane.mli: Dumbnet_packet Dumbnet_topology Format Frame Types

@@ -1,0 +1,1 @@
+lib/switch/monitor.ml: Dumbnet_packet Dumbnet_topology Frame Hashtbl Payload Types

@@ -1,0 +1,1 @@
+lib/switch/monitor.mli: Dumbnet_packet Dumbnet_topology Frame Types

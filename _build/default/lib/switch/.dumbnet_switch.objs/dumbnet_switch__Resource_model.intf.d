@@ -1,0 +1,1 @@
+lib/switch/resource_model.mli:

@@ -1,0 +1,64 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type drop_reason =
+  | No_tags
+  | Path_ended_at_switch
+  | Port_down of port
+  | Port_out_of_range of port
+  | Untagged
+  | Ttl_expired
+
+type action =
+  | Forward of port * Frame.t
+  | Flood of Frame.t
+  | Drop of drop_reason
+
+let rec process_tags ~self ~num_ports ~port_up (frame : Frame.t) =
+  match frame.Frame.tags with
+  | [] -> Drop No_tags
+  | Tag.End_of_path :: _ -> Drop Path_ended_at_switch
+  | Tag.Id_query :: rest ->
+    (* Answer in place: consume the query tag, stamp our identity, and
+       keep routing the rewritten frame along the remaining tags. *)
+    let reply =
+      {
+        frame with
+        Frame.src = Frame.Node (Switch self);
+        tags = rest;
+        payload = Payload.Id_reply { switch = self };
+      }
+    in
+    process_tags ~self ~num_ports ~port_up reply
+  | Tag.Forward p :: rest ->
+    if p < 1 || p > num_ports then Drop (Port_out_of_range p)
+    else if not (port_up p) then Drop (Port_down p)
+    else Forward (p, { frame with Frame.tags = rest })
+
+let handle ~self ~num_ports ~port_up ~in_port frame =
+  ignore in_port;
+  if frame.Frame.ethertype = Frame.ethertype_dumbnet then
+    process_tags ~self ~num_ports ~port_up frame
+  else if frame.Frame.ethertype = Frame.ethertype_notice then begin
+    match frame.Frame.payload with
+    | Payload.Port_notice { event; hops_left } ->
+      if hops_left <= 0 then Drop Ttl_expired
+      else
+        Flood
+          { frame with Frame.payload = Payload.Port_notice { event; hops_left = hops_left - 1 } }
+    | Payload.Data _ | Payload.Probe _ | Payload.Probe_reply _ | Payload.Id_reply _
+    | Payload.Host_flood _ | Payload.Topo_patch _ | Payload.Path_query _
+    | Payload.Path_response _ | Payload.Controller_hello _ | Payload.Peer_list _
+    | Payload.Ecn_echo _ | Payload.Rts _ | Payload.Token _ ->
+      Drop Untagged
+  end
+  else Drop Untagged
+
+let pp_drop_reason ppf = function
+  | No_tags -> Format.fprintf ppf "no-tags"
+  | Path_ended_at_switch -> Format.fprintf ppf "path-ended-at-switch"
+  | Port_down p -> Format.fprintf ppf "port-%d-down" p
+  | Port_out_of_range p -> Format.fprintf ppf "port-%d-out-of-range" p
+  | Untagged -> Format.fprintf ppf "untagged"
+  | Ttl_expired -> Format.fprintf ppf "ttl-expired"

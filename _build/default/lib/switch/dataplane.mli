@@ -1,0 +1,34 @@
+(** The dumb switch data plane (paper §3.1, §5.3).
+
+    A DumbNet switch does exactly three things: forward packets by the
+    first routing tag (no table lookup), answer ID queries, and flood
+    hop-limited port notices. It keeps no forwarding state, so the whole
+    data plane is a pure function from an arriving frame to actions; the
+    only inputs besides the frame are the physical port states the
+    hardware can observe directly. *)
+
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type drop_reason =
+  | No_tags  (** a 0x9800 frame with an empty tag stack *)
+  | Path_ended_at_switch  (** first tag was ø but switches host no stacks *)
+  | Port_down of port
+  | Port_out_of_range of port
+  | Untagged  (** plain Ethernet: a dumb switch has no tables to forward it *)
+  | Ttl_expired  (** a port notice whose hop budget is spent *)
+
+type action =
+  | Forward of port * Frame.t  (** emit the frame (first tag consumed) on this port *)
+  | Flood of Frame.t  (** emit on every up port except the ingress *)
+  | Drop of drop_reason
+
+val handle :
+  self:switch_id -> num_ports:int -> port_up:(port -> bool) -> in_port:port -> Frame.t -> action
+(** One frame in, one action out. ID queries are answered by rewriting
+    the frame in place: the [Id_query] tag is consumed, the payload
+    becomes [Id_reply self] with the switch as source, and the remaining
+    tags route the reply — all in the same pass, no state retained. *)
+
+val pp_drop_reason : Format.formatter -> drop_reason -> unit

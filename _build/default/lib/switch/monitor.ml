@@ -1,0 +1,51 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type port_state = { mutable last_alarm_ns : int; mutable seq : int }
+
+type t = {
+  self : switch_id;
+  suppress_ns : int;
+  hop_limit : int;
+  ports : (port, port_state) Hashtbl.t;
+  mutable emitted : int;
+  mutable suppressed : int;
+}
+
+let default_suppress_ns = 1_000_000_000
+
+let default_hop_limit = 5
+
+let create ?(suppress_ns = default_suppress_ns) ?(hop_limit = default_hop_limit) ~self () =
+  { self; suppress_ns; hop_limit; ports = Hashtbl.create 8; emitted = 0; suppressed = 0 }
+
+let hop_limit t = t.hop_limit
+
+let state_for t port =
+  match Hashtbl.find_opt t.ports port with
+  | Some s -> s
+  | None ->
+    let s = { last_alarm_ns = min_int / 2; seq = 0 } in
+    Hashtbl.replace t.ports port s;
+    s
+
+let on_port_event t ~now_ns ~port ~up =
+  let s = state_for t port in
+  if now_ns - s.last_alarm_ns < t.suppress_ns then begin
+    t.suppressed <- t.suppressed + 1;
+    None
+  end
+  else begin
+    s.last_alarm_ns <- now_ns;
+    s.seq <- s.seq + 1;
+    t.emitted <- t.emitted + 1;
+    let event =
+      { Payload.position = { sw = t.self; port }; up; event_seq = s.seq }
+    in
+    Some (Frame.notice ~origin:t.self ~event ~hops_left:t.hop_limit)
+  end
+
+let alarms_emitted t = t.emitted
+
+let alarms_suppressed t = t.suppressed

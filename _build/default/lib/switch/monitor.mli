@@ -1,0 +1,28 @@
+(** Switch-local port state monitoring (paper §4.2).
+
+    The only soft state a DumbNet switch keeps: a per-port timestamp and
+    sequence counter used to suppress duplicate alarms from flapping
+    links — at most one notification per port per suppression window
+    (1 s in the paper). On an unsuppressed transition the monitor emits
+    a hop-limited broadcast frame for the fabric to flood. *)
+
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type t
+
+val create : ?suppress_ns:int -> ?hop_limit:int -> self:switch_id -> unit -> t
+(** Defaults: 1 s suppression window, 5-hop notice budget ("modern data
+    center topologies often have small diameters, a max of 5 hops is
+    often enough"). *)
+
+val hop_limit : t -> int
+
+val on_port_event : t -> now_ns:int -> port:port -> up:bool -> Frame.t option
+(** Called by the hardware on a physical port transition. [Some frame]
+    is the notice to flood; [None] means the alarm was suppressed. *)
+
+val alarms_emitted : t -> int
+
+val alarms_suppressed : t -> int

@@ -1,0 +1,32 @@
+type usage = { luts : int; registers : int }
+
+(* Anchor constants derived from the paper's published 4-port synthesis
+   results; see the interface for the structural justification. *)
+
+let log2_ceil n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+(* DumbNet: per-port pop-label + demux slices. The demultiplexer select
+   tree grows with log2(ports). 4 ports => 1713 LUTs, 1504 registers. *)
+let dumbnet ~ports =
+  if ports <= 0 then invalid_arg "Resource_model.dumbnet: ports must be positive";
+  let demux_tree = 24 * ports * log2_ceil ports in
+  let luts = 329 + (334 * ports) + (demux_tree / 4) in
+  let registers = 256 + (304 * ports) + (demux_tree / 6) in
+  { luts; registers }
+
+(* OpenFlow reference switch: a large fixed core (parser, flow tables,
+   control agent) plus per-port datapath, plus a crossbar/match term
+   that grows superlinearly. 4 ports => 16070 LUTs, 17193 registers. *)
+let openflow ~ports =
+  if ports <= 0 then invalid_arg "Resource_model.openflow: ports must be positive";
+  let crossbar = 8 * ports * ports in
+  let luts = 12_002 + (985 * ports) + crossbar in
+  let registers = 13_001 + (1_016 * ports) + crossbar in
+  { luts; registers }
+
+let verilog_loc = 1_228
+
+let reduction_factor ~ports =
+  float_of_int (openflow ~ports).luts /. float_of_int (dumbnet ~ports).luts

@@ -1,0 +1,30 @@
+(** FPGA synthesis resource models (paper §7.1, Figure 7).
+
+    The paper synthesizes its two-stage pop-label switch and the
+    NetFPGA OpenFlow reference switch on the same ONetSwitch45 board and
+    compares look-up-table (LUT) and register usage as the port count
+    grows. We cannot synthesize Verilog here, so we model each design's
+    structural cost — anchored exactly at the published 4-port numbers
+    (DumbNet 1 713 LUTs / 1 504 registers; OpenFlow 16 070 / 17 193) and
+    scaled by how each circuit grows with ports:
+
+    - DumbNet: one pop-label module and one output demultiplexer per
+      port; both grow linearly (the demux adds a small log-depth tree
+      factor).
+    - OpenFlow: a fixed flow-table + parser + control-agent core that
+      dominates, plus per-port datapath machinery; the TCAM-backed match
+      stage also grows with the crossbar, giving a superlinear term. *)
+
+type usage = { luts : int; registers : int }
+
+val dumbnet : ports:int -> usage
+
+val openflow : ports:int -> usage
+
+val verilog_loc : int
+(** Lines of Verilog of the paper's switch implementation (1 228),
+    reported for the Table-1-style complexity comparison. *)
+
+val reduction_factor : ports:int -> float
+(** OpenFlow LUTs divided by DumbNet LUTs at this port count (~9-10x at
+    4 ports, i.e. the paper's "almost 90%" saving). *)

@@ -1,0 +1,1 @@
+lib/topology/builder.ml: Array Dumbnet_util Graph Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/topology/graph.ml: Array Format Hashtbl Link_key List Option Printf Types

@@ -1,0 +1,1 @@
+lib/topology/path.ml: Format Graph Link_key List Option Types

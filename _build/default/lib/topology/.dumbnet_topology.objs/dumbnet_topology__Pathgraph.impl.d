@@ -1,0 +1,1 @@
+lib/topology/pathgraph.ml: Array Dumbnet_util Format Graph Hashtbl Link_key Link_set List Path Routing Switch_set Types

@@ -1,0 +1,1 @@
+lib/topology/pathgraph.mli: Dumbnet_util Format Graph Link_key Link_set Path Switch_set Types

@@ -1,0 +1,1 @@
+lib/topology/routing.ml: Array Dumbnet_util Float Graph Hashtbl List Path Queue Switch_set Types

@@ -1,0 +1,1 @@
+lib/topology/routing.mli: Dumbnet_util Graph Hashtbl Path Switch_set Types

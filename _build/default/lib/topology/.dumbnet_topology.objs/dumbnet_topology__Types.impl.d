@@ -1,0 +1,1 @@
+lib/topology/types.ml: Format Int Set

@@ -1,0 +1,1 @@
+lib/topology/types.mli: Format Set

@@ -1,0 +1,300 @@
+open Types
+module Rng = Dumbnet_util.Rng
+
+type built = {
+  graph : Graph.t;
+  hosts : host_id list;
+  controller : host_id;
+}
+
+let figure1 () =
+  let g = Graph.create () in
+  let s1 = Graph.add_switch g ~ports:10 in
+  let s2 = Graph.add_switch g ~ports:10 in
+  let s3 = Graph.add_switch g ~ports:10 in
+  let s4 = Graph.add_switch g ~ports:10 in
+  let s5 = Graph.add_switch g ~ports:10 in
+  (* Spine S1: port 1->S3-1, 2->S4-1, 3->S5-1, host H1 on 5. *)
+  Graph.connect g { sw = s1; port = 1 } { sw = s3; port = 1 };
+  Graph.connect g { sw = s1; port = 2 } { sw = s4; port = 1 };
+  Graph.connect g { sw = s1; port = 3 } { sw = s5; port = 1 };
+  (* Spine S2: port 1->S3-2, 2->S4-2, 3->S5-2, host H2 on 5. *)
+  Graph.connect g { sw = s2; port = 1 } { sw = s3; port = 2 };
+  Graph.connect g { sw = s2; port = 2 } { sw = s4; port = 2 };
+  Graph.connect g { sw = s2; port = 3 } { sw = s5; port = 2 };
+  let h1 = Graph.add_host g in
+  let h2 = Graph.add_host g in
+  let h3 = Graph.add_host g in
+  let h4 = Graph.add_host g in
+  let h5 = Graph.add_host g in
+  let c3 = Graph.add_host g in
+  Graph.attach_host g h1 { sw = s1; port = 5 };
+  Graph.attach_host g h2 { sw = s2; port = 5 };
+  Graph.attach_host g h3 { sw = s3; port = 5 };
+  Graph.attach_host g h4 { sw = s4; port = 5 };
+  Graph.attach_host g h5 { sw = s5; port = 5 };
+  Graph.attach_host g c3 { sw = s3; port = 9 };
+  { graph = g; hosts = [ h1; h2; h3; h4; h5; c3 ]; controller = c3 }
+
+let leaf_spine ?ports ~spines ~leaves ~hosts_per_leaf () =
+  if spines <= 0 || leaves <= 0 || hosts_per_leaf < 0 then
+    invalid_arg "Builder.leaf_spine: non-positive dimension";
+  let needed_leaf = spines + hosts_per_leaf in
+  let needed_spine = leaves in
+  let ports =
+    match ports with
+    | Some p ->
+      if p < max needed_leaf needed_spine then invalid_arg "Builder.leaf_spine: too few ports";
+      p
+    | None -> max needed_leaf needed_spine
+  in
+  let g = Graph.create () in
+  let spine_ids = List.init spines (fun _ -> Graph.add_switch g ~ports) in
+  let leaf_ids = List.init leaves (fun _ -> Graph.add_switch g ~ports) in
+  List.iteri
+    (fun li leaf ->
+      List.iteri
+        (fun si spine ->
+          Graph.connect g { sw = leaf; port = si + 1 } { sw = spine; port = li + 1 })
+        spine_ids)
+    leaf_ids;
+  let hosts =
+    List.concat_map
+      (fun leaf ->
+        List.init hosts_per_leaf (fun i ->
+            let h = Graph.add_host g in
+            Graph.attach_host g h { sw = leaf; port = spines + 1 + i };
+            h))
+      leaf_ids
+  in
+  match hosts with
+  | [] -> invalid_arg "Builder.leaf_spine: needs at least one host"
+  | controller :: _ -> { graph = g; hosts; controller }
+
+(* The paper's testbed: 7 Arista 7050 64-port switches as 2 spines + 5
+   leaves, 27 servers spread over the leaves. *)
+let testbed () =
+  let spines = 2 and leaves = 5 in
+  let g = Graph.create () in
+  let ports = 64 in
+  let spine_ids = List.init spines (fun _ -> Graph.add_switch g ~ports) in
+  let leaf_ids = List.init leaves (fun _ -> Graph.add_switch g ~ports) in
+  List.iteri
+    (fun li leaf ->
+      List.iteri
+        (fun si spine ->
+          Graph.connect g { sw = leaf; port = si + 1 } { sw = spine; port = li + 1 })
+        spine_ids)
+    leaf_ids;
+  (* 27 servers: 6,6,5,5,5 across the five leaves. *)
+  let counts = [ 6; 6; 5; 5; 5 ] in
+  let hosts =
+    List.concat
+      (List.map2
+         (fun leaf count ->
+           List.init count (fun i ->
+               let h = Graph.add_host g in
+               Graph.attach_host g h { sw = leaf; port = spines + 1 + i };
+               h))
+         leaf_ids counts)
+  in
+  { graph = g; hosts; controller = List.hd hosts }
+
+let fat_tree ?ports ~k () =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Builder.fat_tree: k must be even and >= 2";
+  let half = k / 2 in
+  let ports =
+    match ports with
+    | Some p ->
+      if p < k then invalid_arg "Builder.fat_tree: switches need at least k ports";
+      p
+    | None -> k
+  in
+  let g = Graph.create () in
+  (* Core switches: half*half of them; core (i,j) links to the j-th
+     aggregation switch of every pod on port (pod+1). *)
+  let cores = Array.init (half * half) (fun _ -> Graph.add_switch g ~ports) in
+  let aggs = Array.init k (fun _ -> Array.init half (fun _ -> Graph.add_switch g ~ports)) in
+  let edges = Array.init k (fun _ -> Array.init half (fun _ -> Graph.add_switch g ~ports)) in
+  for pod = 0 to k - 1 do
+    for a = 0 to half - 1 do
+      (* Aggregation a of this pod connects upward to cores a*half..a*half+half-1. *)
+      for c = 0 to half - 1 do
+        let core = cores.((a * half) + c) in
+        Graph.connect g { sw = aggs.(pod).(a); port = c + 1 } { sw = core; port = pod + 1 }
+      done;
+      (* And downward to every edge switch of the pod. *)
+      for e = 0 to half - 1 do
+        Graph.connect g
+          { sw = aggs.(pod).(a); port = half + e + 1 }
+          { sw = edges.(pod).(e); port = a + 1 }
+      done
+    done
+  done;
+  let hosts = ref [] in
+  for pod = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      for i = 0 to half - 1 do
+        let h = Graph.add_host g in
+        Graph.attach_host g h { sw = edges.(pod).(e); port = half + i + 1 };
+        hosts := h :: !hosts
+      done
+    done
+  done;
+  let hosts = List.rev !hosts in
+  { graph = g; hosts; controller = List.hd hosts }
+
+let cube ?ports ~n ~controller_at () =
+  if n < 2 then invalid_arg "Builder.cube: n must be >= 2";
+  (* Ports 1..6 are the -x,+x,-y,+y,-z,+z faces; port 7 hosts. *)
+  let ports =
+    match ports with
+    | Some p ->
+      if p < 7 then invalid_arg "Builder.cube: needs at least 7 ports";
+      p
+    | None -> 7
+  in
+  let g = Graph.create () in
+  let idx x y z = (((x * n) + y) * n) + z in
+  let switches = Array.init (n * n * n) (fun _ -> Graph.add_switch g ~ports) in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      for z = 0 to n - 1 do
+        let sw = switches.(idx x y z) in
+        if x + 1 < n then
+          Graph.connect g { sw; port = 2 } { sw = switches.(idx (x + 1) y z); port = 1 };
+        if y + 1 < n then
+          Graph.connect g { sw; port = 4 } { sw = switches.(idx x (y + 1) z); port = 3 };
+        if z + 1 < n then
+          Graph.connect g { sw; port = 6 } { sw = switches.(idx x y (z + 1)); port = 5 }
+      done
+    done
+  done;
+  let hosts =
+    Array.to_list
+      (Array.map
+         (fun sw ->
+           let h = Graph.add_host g in
+           Graph.attach_host g h { sw; port = 7 };
+           h)
+         switches)
+  in
+  let controller_switch =
+    match controller_at with
+    | `Corner -> idx 0 0 0
+    | `Center -> idx (n / 2) (n / 2) (n / 2)
+  in
+  { graph = g; hosts; controller = List.nth hosts controller_switch }
+
+let random_regular ~rng ~switches ~degree ~hosts_per_switch () =
+  if switches < 2 then invalid_arg "Builder.random_regular: need >= 2 switches";
+  if degree < 1 || degree >= switches then invalid_arg "Builder.random_regular: bad degree";
+  let ports_needed = degree + max 1 hosts_per_switch in
+  if ports_needed > max_port then invalid_arg "Builder.random_regular: too many ports";
+  let rec attempt tries =
+    if tries = 0 then failwith "Builder.random_regular: could not build a connected graph";
+    let g = Graph.create () in
+    let ids = Array.init switches (fun _ -> Graph.add_switch g ~ports:ports_needed) in
+    let free = Array.make switches degree in
+    let next_port = Array.make switches 1 in
+    let connect i j =
+      Graph.connect g
+        { sw = ids.(i); port = next_port.(i) }
+        { sw = ids.(j); port = next_port.(j) };
+      next_port.(i) <- next_port.(i) + 1;
+      next_port.(j) <- next_port.(j) + 1;
+      free.(i) <- free.(i) - 1;
+      free.(j) <- free.(j) - 1
+    in
+    let linked = Hashtbl.create 256 in
+    let mark i j = Hashtbl.replace linked (min i j, max i j) () in
+    let are_linked i j = Hashtbl.mem linked (min i j, max i j) in
+    (* Random pairing with bounded retries; leftover stubs stay free. *)
+    let stubs () =
+      let l = ref [] in
+      Array.iteri (fun i f -> for _ = 1 to f do l := i :: !l done) free;
+      Array.of_list !l
+    in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let s = stubs () in
+      if Array.length s >= 2 then begin
+        Rng.shuffle rng s;
+        let n = Array.length s in
+        let used = Array.make n false in
+        for a = 0 to n - 1 do
+          if not used.(a) then begin
+            let b = ref (a + 1) in
+            while
+              !b < n && (used.(!b) || s.(!b) = s.(a) || are_linked s.(a) s.(!b))
+            do
+              incr b
+            done;
+            if !b < n then begin
+              used.(a) <- true;
+              used.(!b) <- true;
+              mark s.(a) s.(!b);
+              connect s.(a) s.(!b);
+              progress := true
+            end
+          end
+        done
+      end
+    done;
+    if Graph.connected g then begin
+      let hosts =
+        Array.to_list ids
+        |> List.concat_map (fun sw ->
+               List.init (max 1 hosts_per_switch) (fun _ ->
+                   let h = Graph.add_host g in
+                   let rec free_port p =
+                     if Graph.endpoint_at g { sw; port = p } = None then p else free_port (p + 1)
+                   in
+                   Graph.attach_host g h { sw; port = free_port 1 };
+                   h))
+      in
+      { graph = g; hosts; controller = List.hd hosts }
+    end
+    else attempt (tries - 1)
+  in
+  attempt 20
+
+let star ?(hosts_per_leaf = 1) ~leaves () =
+  if leaves < 1 then invalid_arg "Builder.star: leaves must be >= 1";
+  if hosts_per_leaf < 1 then invalid_arg "Builder.star: hosts_per_leaf must be >= 1";
+  let g = Graph.create () in
+  (* Uniform port counts, like every generator here: discovery can only
+     assume one per-switch port count (switches reveal just their ID). *)
+  let ports = max 2 (max leaves (1 + hosts_per_leaf)) in
+  let core = Graph.add_switch g ~ports in
+  let hosts = ref [] in
+  for i = 0 to leaves - 1 do
+    let leaf = Graph.add_switch g ~ports in
+    Graph.connect g { sw = leaf; port = 1 } { sw = core; port = i + 1 };
+    for j = 0 to hosts_per_leaf - 1 do
+      let h = Graph.add_host g in
+      Graph.attach_host g h { sw = leaf; port = 2 + j };
+      hosts := h :: !hosts
+    done
+  done;
+  let hosts = List.rev !hosts in
+  { graph = g; hosts; controller = List.hd hosts }
+
+let linear ~n () =
+  if n < 1 then invalid_arg "Builder.linear: n must be >= 1";
+  let g = Graph.create () in
+  let ids = Array.init n (fun _ -> Graph.add_switch g ~ports:4) in
+  for i = 0 to n - 2 do
+    Graph.connect g { sw = ids.(i); port = 2 } { sw = ids.(i + 1); port = 1 }
+  done;
+  let hosts =
+    Array.to_list
+      (Array.map
+         (fun sw ->
+           let h = Graph.add_host g in
+           Graph.attach_host g h { sw; port = 3 };
+           h)
+         ids)
+  in
+  { graph = g; hosts; controller = List.hd hosts }

@@ -1,0 +1,58 @@
+(** Topology generators for the fabrics the paper evaluates on:
+    the Figure-1 sample, the 7-switch/27-server testbed leaf-spine, fat
+    trees, n×n×n cube meshes, and random-regular (jellyfish-style)
+    graphs for robustness tests. *)
+
+open Types
+
+type built = {
+  graph : Graph.t;
+  hosts : host_id list;  (** all hosts, in creation order *)
+  controller : host_id;  (** a designated controller host *)
+}
+
+val figure1 : unit -> built
+(** The running example of paper §3.2/§4.1: spines S1, S2 over leaves
+    S3, S4, S5; hosts H1..H5 and controller C3 on S3 port 9. Host ids
+    are assigned in order H1..H5 then C3; switch ids 0..4 map to
+    S1..S5. *)
+
+val leaf_spine : ?ports:int -> spines:int -> leaves:int -> hosts_per_leaf:int -> unit -> built
+(** Every leaf links to every spine; hosts hang off leaves; the
+    controller is the first host of the first leaf. [ports] (default:
+    just enough) sets the per-switch port count, e.g. 64 to model the
+    testbed's Arista 7050. *)
+
+val testbed : unit -> built
+(** The paper's evaluation testbed: 2 spines, 5 leaves, 64-port
+    switches, 27 servers total (5–6 per leaf), controller on the first
+    leaf. *)
+
+val fat_tree : ?ports:int -> k:int -> unit -> built
+(** Standard k-ary fat tree ([k] even): (k/2)² cores, k pods of k/2
+    aggregation + k/2 edge switches, k/2 hosts per edge switch. *)
+
+val cube : ?ports:int -> n:int -> controller_at:[ `Corner | `Center ] -> unit -> built
+(** n×n×n mesh (no wraparound, so corner and center placements differ);
+    one host per switch, controller attached at the requested corner or
+    center switch. *)
+
+val random_regular :
+  rng:Dumbnet_util.Rng.t ->
+  switches:int ->
+  degree:int ->
+  hosts_per_switch:int ->
+  unit ->
+  built
+(** Jellyfish-style random graph: each switch gets [degree]
+    switch-to-switch links (best effort — the generator retries pairings
+    but may leave a few ports free), plus [hosts_per_switch] hosts.
+    Guaranteed connected (re-drawn until it is). *)
+
+val linear : n:int -> unit -> built
+(** A chain of [n] switches, one host each — worst-case diameter. *)
+
+val star : ?hosts_per_leaf:int -> leaves:int -> unit -> built
+(** One core switch with [leaves] edge switches around it — the
+    degenerate single-path topology (no redundancy at all), useful as a
+    worst case for failure experiments. *)

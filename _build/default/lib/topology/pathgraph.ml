@@ -1,0 +1,309 @@
+open Types
+module Rng = Dumbnet_util.Rng
+
+type t = {
+  src : host_id;
+  dst : host_id;
+  src_loc : link_end;
+  dst_loc : link_end;
+  primary : Path.t;
+  backup : Path.t option;
+  (* Cached subgraph as symmetric adjacency: sw -> (out, peer, peer_in).
+     Mutable so hosts can patch failures out without a reallocation. *)
+  adj : (switch_id, (port * switch_id * port) list ref) Hashtbl.t;
+}
+
+let src t = t.src
+
+let dst t = t.dst
+
+let primary t = t.primary
+
+let backup t = t.backup
+
+let switch_count t = Hashtbl.length t.adj
+
+let switches t = Hashtbl.fold (fun sw _ acc -> Switch_set.add sw acc) t.adj Switch_set.empty
+
+let adjacency t sw =
+  match Hashtbl.find_opt t.adj sw with
+  | Some l -> !l
+  | None -> []
+
+let link_count t =
+  Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.adj 0 / 2
+
+let contains_link t key =
+  let a, b = Link_key.ends key in
+  List.exists (fun (out, peer, peer_in) -> out = a.port && peer = b.sw && peer_in = b.port)
+    (adjacency t a.sw)
+
+let add_edge adj a b =
+  let entry sw =
+    match Hashtbl.find_opt adj sw with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace adj sw l;
+      l
+  in
+  let la = entry a.sw and lb = entry b.sw in
+  let forward = (a.port, b.sw, b.port) in
+  if not (List.mem forward !la) then begin
+    la := forward :: !la;
+    lb := (b.port, a.sw, a.port) :: !lb
+  end
+
+let default_s = 2
+
+let default_eps = 1
+
+let generate ?(s = default_s) ?(eps = default_eps) ?rng g ~src ~dst =
+  if s <= 0 then invalid_arg "Pathgraph.generate: s must be positive";
+  if eps < 0 then invalid_arg "Pathgraph.generate: eps must be non-negative";
+  match (Graph.host_location g src, Graph.host_location g dst) with
+  | None, _ | _, None -> None
+  | Some src_loc, Some dst_loc -> (
+    let graph_adj sw = Graph.switch_neighbors g sw in
+    match Routing.shortest_route ?rng graph_adj ~src:src_loc.sw ~dst:dst_loc.sw with
+    | None -> None
+    | Some route -> (
+      match Path.of_route ~adj:graph_adj ~src ~src_loc ~dst ~dst_loc route with
+      | None -> None
+      | Some primary_path ->
+        let arr = Array.of_list route in
+        let len = Array.length arr in
+        (* Algorithm 1: slide a window of s hops along the primary path
+           with stride s/2; keep every switch x with
+           dist(a,x) + dist(x,b) <= s + eps. *)
+        let vertices = ref Switch_set.empty in
+        let add_route r = List.iter (fun v -> vertices := Switch_set.add v !vertices) r in
+        add_route route;
+        let stride = max 1 (s / 2) in
+        let i = ref 0 in
+        while !i < len - 1 do
+          let a = arr.(!i) in
+          let b_idx = min (!i + s) (len - 1) in
+          let b = arr.(b_idx) in
+          let window = b_idx - !i in
+          let da = Routing.bfs_distances graph_adj ~from:a in
+          let db = Routing.bfs_distances graph_adj ~from:b in
+          Hashtbl.iter
+            (fun x dxa ->
+              match Hashtbl.find_opt db x with
+              | Some dxb when dxa + dxb <= window + eps -> vertices := Switch_set.add x !vertices
+              | Some _ | None -> ())
+            da;
+          i := !i + stride
+        done;
+        (* Backup path: re-run shortest path with primary links made
+           expensive so it avoids them unless unavoidable. *)
+        let primary_links =
+          let rec pairs acc = function
+            | [] | [ _ ] -> acc
+            | a :: (b :: _ as rest) -> pairs ((a, b) :: acc) rest
+          in
+          pairs [] route
+        in
+        let on_primary x y =
+          List.exists (fun (a, b) -> (a = x && b = y) || (a = y && b = x)) primary_links
+        in
+        let weight e1 e2 = if on_primary e1.sw e2.sw then 100. else 1. in
+        let backup_route =
+          Routing.weighted_route ~weight graph_adj ~src:src_loc.sw ~dst:dst_loc.sw
+        in
+        let backup_path =
+          match backup_route with
+          | Some r when r <> route ->
+            add_route r;
+            Path.of_route ~adj:graph_adj ~src ~src_loc ~dst ~dst_loc r
+          | Some _ | None -> None
+        in
+        (* Induced subgraph on the collected vertex set. *)
+        let adj = Hashtbl.create 64 in
+        Switch_set.iter
+          (fun sw ->
+            List.iter
+              (fun (out, peer, peer_in) ->
+                if Switch_set.mem peer !vertices then
+                  add_edge adj { sw; port = out } { sw = peer; port = peer_in })
+              (graph_adj sw))
+          !vertices;
+        (* Make sure isolated single-switch subgraphs still appear. *)
+        Switch_set.iter
+          (fun sw -> if not (Hashtbl.mem adj sw) then Hashtbl.replace adj sw (ref []))
+          !vertices;
+        Some { src; dst; src_loc; dst_loc; primary = primary_path; backup = backup_path; adj }))
+
+let mark_link_down t key =
+  let a, b = Link_key.ends key in
+  let drop sw ~out ~peer ~peer_in =
+    match Hashtbl.find_opt t.adj sw with
+    | None -> ()
+    | Some l -> l := List.filter (fun e -> e <> (out, peer, peer_in)) !l
+  in
+  drop a.sw ~out:a.port ~peer:b.sw ~peer_in:b.port;
+  drop b.sw ~out:b.port ~peer:a.sw ~peer_in:a.port
+
+let mark_switch_down t sw =
+  (match Hashtbl.find_opt t.adj sw with
+  | None -> ()
+  | Some _ -> Hashtbl.remove t.adj sw);
+  Hashtbl.iter (fun _ l -> l := List.filter (fun (_, peer, _) -> peer <> sw) !l) t.adj
+
+let adjacency_avoiding t avoid sw =
+  List.filter
+    (fun (out, peer, peer_in) ->
+      not
+        (Link_set.mem
+           (Link_key.make { sw; port = out } { sw = peer; port = peer_in })
+           avoid))
+    (adjacency t sw)
+
+let effective_adjacency t = function
+  | None -> adjacency t
+  | Some avoid -> if Link_set.is_empty avoid then adjacency t else adjacency_avoiding t avoid
+
+let find_route ?rng ?avoid t =
+  let adj = effective_adjacency t avoid in
+  match Routing.shortest_route ?rng adj ~src:t.src_loc.sw ~dst:t.dst_loc.sw with
+  | None -> None
+  | Some route ->
+    Path.of_route ~adj ~src:t.src ~src_loc:t.src_loc ~dst:t.dst ~dst_loc:t.dst_loc route
+
+let k_routes ?rng ?avoid t ~k =
+  let adj = effective_adjacency t avoid in
+  Routing.k_shortest_routes ?rng adj ~src:t.src_loc.sw ~dst:t.dst_loc.sw ~k
+  |> List.filter_map (fun route ->
+         Path.of_route ~adj ~src:t.src ~src_loc:t.src_loc ~dst:t.dst ~dst_loc:t.dst_loc route)
+
+let reversed t =
+  let swapped =
+    { t with src = t.dst; dst = t.src; src_loc = t.dst_loc; dst_loc = t.src_loc }
+  in
+  match find_route swapped with
+  | None -> None
+  | Some primary ->
+    let backup =
+      match t.backup with
+      | None -> None
+      | Some _ ->
+        (* Prefer a reverse route that dodges the reverse primary's links. *)
+        let adj = adjacency swapped in
+        let primary_pairs =
+          let rec pairs acc = function
+            | [] | [ _ ] -> acc
+            | (a, _) :: ((b, _) :: _ as rest) -> pairs ((a, b) :: acc) rest
+          in
+          pairs [] primary.Path.hops
+        in
+        let weight (e1 : link_end) (e2 : link_end) =
+          if
+            List.exists
+              (fun (a, b) -> (a = e1.sw && b = e2.sw) || (a = e2.sw && b = e1.sw))
+              primary_pairs
+          then 100.
+          else 1.
+        in
+        (match
+           Routing.weighted_route ~weight adj ~src:swapped.src_loc.sw ~dst:swapped.dst_loc.sw
+         with
+        | Some route when route <> List.map fst primary.Path.hops ->
+          Path.of_route ~adj ~src:swapped.src ~src_loc:swapped.src_loc ~dst:swapped.dst
+            ~dst_loc:swapped.dst_loc route
+        | Some _ | None -> None)
+    in
+    Some { swapped with primary; backup }
+
+let count_paths t ~max_len ~cap =
+  let adj = adjacency t in
+  let count = ref 0 in
+  let visited = Hashtbl.create 32 in
+  let rec dfs sw depth =
+    if !count < cap then begin
+      if sw = t.dst_loc.sw then incr count
+      else if depth < max_len then begin
+        Hashtbl.replace visited sw ();
+        List.iter
+          (fun (_, peer, _) -> if not (Hashtbl.mem visited peer) then dfs peer (depth + 1))
+          (adj sw);
+        Hashtbl.remove visited sw
+      end
+    end
+  in
+  dfs t.src_loc.sw 1;
+  !count
+
+type wire = {
+  w_src : host_id;
+  w_dst : host_id;
+  w_src_loc : link_end;
+  w_dst_loc : link_end;
+  w_primary : Path.t;
+  w_backup : Path.t option;
+  w_edges : (link_end * link_end) list;
+}
+
+let to_wire t =
+  let edges =
+    Hashtbl.fold
+      (fun sw l acc ->
+        List.fold_left
+          (fun acc (out, peer, peer_in) ->
+            let a = { sw; port = out } and b = { sw = peer; port = peer_in } in
+            if (a.sw, a.port) < (b.sw, b.port) then (a, b) :: acc else acc)
+          acc !l)
+      t.adj []
+    |> List.sort compare
+  in
+  {
+    w_src = t.src;
+    w_dst = t.dst;
+    w_src_loc = t.src_loc;
+    w_dst_loc = t.dst_loc;
+    w_primary = t.primary;
+    w_backup = t.backup;
+    w_edges = edges;
+  }
+
+let of_wire w =
+  let adj = Hashtbl.create 64 in
+  List.iter (fun (a, b) -> add_edge adj a b) w.w_edges;
+  (* Endpoints must exist even if they have no switch-switch edges. *)
+  List.iter
+    (fun sw -> if not (Hashtbl.mem adj sw) then Hashtbl.replace adj sw (ref []))
+    [ w.w_src_loc.sw; w.w_dst_loc.sw ];
+  {
+    src = w.w_src;
+    dst = w.w_dst;
+    src_loc = w.w_src_loc;
+    dst_loc = w.w_dst_loc;
+    primary = w.w_primary;
+    backup = w.w_backup;
+    adj;
+  }
+
+let merge a b =
+  if a.src <> b.src || a.dst <> b.dst then invalid_arg "Pathgraph.merge: different endpoints";
+  let adj = Hashtbl.create 64 in
+  let add_all t =
+    Hashtbl.iter
+      (fun sw l ->
+        if not (Hashtbl.mem adj sw) then Hashtbl.replace adj sw (ref []);
+        List.iter
+          (fun (out, peer, peer_in) ->
+            add_edge adj { sw; port = out } { sw = peer; port = peer_in })
+          !l)
+      t.adj
+  in
+  add_all a;
+  add_all b;
+  { a with adj }
+
+let pp ppf t =
+  Format.fprintf ppf "pathgraph H%d->H%d: primary=%a backup=%s switches=%d links=%d" t.src t.dst
+    Path.pp t.primary
+    (match t.backup with
+    | Some p -> Format.asprintf "%a" Path.pp p
+    | None -> "none")
+    (switch_count t) (link_count t)

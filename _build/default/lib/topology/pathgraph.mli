@@ -1,0 +1,88 @@
+(** Path graphs (paper §4.3, Algorithm 1).
+
+    A path graph is the controller's answer to a host's path query: a
+    small subgraph of the topology containing a primary shortest path,
+    "s-steps, ε-good" local detours around it, and a backup path sharing
+    as few links as possible with the primary. Hosts cache path graphs
+    and route within them — including around failed links — without
+    contacting the controller again. *)
+
+open Types
+
+type t
+
+val generate :
+  ?s:int ->
+  ?eps:int ->
+  ?rng:Dumbnet_util.Rng.t ->
+  Graph.t ->
+  src:host_id ->
+  dst:host_id ->
+  t option
+(** Builds the path graph between two attached hosts ([s] defaults to 2,
+    [eps] to 1). [None] if either host is detached or unreachable. *)
+
+val src : t -> host_id
+
+val dst : t -> host_id
+
+val primary : t -> Path.t
+
+val backup : t -> Path.t option
+(** Absent when no second path exists at all. *)
+
+val switch_count : t -> int
+(** Number of switches cached (the Fig 12 storage metric). *)
+
+val link_count : t -> int
+
+val switches : t -> Switch_set.t
+
+val contains_link : t -> Link_key.t -> bool
+
+val adjacency : t -> Path.adjacency
+
+val mark_link_down : t -> Link_key.t -> unit
+(** Patches the cached subgraph after a failure notification. Unknown
+    links are ignored. *)
+
+val mark_switch_down : t -> switch_id -> unit
+
+val find_route : ?rng:Dumbnet_util.Rng.t -> ?avoid:Link_set.t -> t -> Path.t option
+(** Best route currently available inside the (patched) subgraph,
+    skipping links in [avoid] — the host's failed-link overlay. *)
+
+val k_routes : ?rng:Dumbnet_util.Rng.t -> ?avoid:Link_set.t -> t -> k:int -> Path.t list
+(** Up to [k] distinct loop-free routes within the subgraph, shortest
+    first; used to fill the host PathTable. *)
+
+val reversed : t -> t option
+(** The same subgraph serving the opposite direction: endpoints swapped
+    and primary/backup recomputed. [None] if no reverse route exists. *)
+
+val count_paths : t -> max_len:int -> cap:int -> int
+(** Number of distinct simple src→dst routes of at most [max_len] switch
+    hops inside the subgraph, counting at most [cap] (the Fig 12 path
+    metric). *)
+
+(** Flat, serialization-friendly form used by the controller's
+    path-response messages. *)
+type wire = {
+  w_src : host_id;
+  w_dst : host_id;
+  w_src_loc : link_end;
+  w_dst_loc : link_end;
+  w_primary : Path.t;
+  w_backup : Path.t option;
+  w_edges : (link_end * link_end) list;  (** each cable once, canonical order *)
+}
+
+val to_wire : t -> wire
+
+val of_wire : wire -> t
+
+val merge : t -> t -> t
+(** Union of the two subgraphs; primary/backup are taken from the first.
+    Requires equal (src, dst); raises [Invalid_argument] otherwise. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,203 @@
+open Types
+module Rng = Dumbnet_util.Rng
+
+let graph_adjacency g sw = Graph.switch_neighbors g sw
+
+let bfs_distances adj ~from =
+  let dist = Hashtbl.create 64 in
+  Hashtbl.replace dist from 0;
+  let q = Queue.create () in
+  Queue.add from q;
+  while not (Queue.is_empty q) do
+    let sw = Queue.pop q in
+    let d = Hashtbl.find dist sw in
+    List.iter
+      (fun (_, peer, _) ->
+        if not (Hashtbl.mem dist peer) then begin
+          Hashtbl.replace dist peer (d + 1);
+          Queue.add peer q
+        end)
+      (adj sw)
+  done;
+  dist
+
+(* BFS from [dst] gives distances-to-destination; we then walk from
+   [src] greedily to any neighbour one step closer, picking uniformly at
+   random among the candidates when [rng] is provided. This yields a
+   uniform-ish choice among shortest routes without enumerating them. *)
+let route_via_distances ?rng adj ~src ~dst dist =
+  match Hashtbl.find_opt dist src with
+  | None -> None
+  | Some d0 ->
+    let pick_next sw d =
+      let candidates =
+        List.filter_map
+          (fun (_, peer, _) ->
+            match Hashtbl.find_opt dist peer with
+            | Some dp when dp = d - 1 -> Some peer
+            | Some _ | None -> None)
+          (adj sw)
+        |> List.sort_uniq compare
+      in
+      match (candidates, rng) with
+      | [], _ -> None
+      | l, Some rng -> Some (Rng.pick rng l)
+      | x :: _, None -> Some x
+    in
+    let rec go sw d acc =
+      if sw = dst then Some (List.rev (sw :: acc))
+      else
+        match pick_next sw d with
+        | None -> None
+        | Some next -> go next (d - 1) (sw :: acc)
+    in
+    go src d0 []
+
+let shortest_route ?rng adj ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let dist = bfs_distances adj ~from:dst in
+    route_via_distances ?rng adj ~src ~dst dist
+  end
+
+let filtered_adjacency ~banned_nodes ~banned_edges adj =
+  let edge_banned a b =
+    List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) banned_edges
+  in
+  fun sw ->
+    if Switch_set.mem sw banned_nodes then []
+    else
+      List.filter
+        (fun (_, peer, _) -> (not (Switch_set.mem peer banned_nodes)) && not (edge_banned sw peer))
+        (adj sw)
+
+let shortest_route_avoiding ?rng ~banned_nodes ~banned_edges adj ~src ~dst =
+  shortest_route ?rng (filtered_adjacency ~banned_nodes ~banned_edges adj) ~src ~dst
+
+let weighted_route ~weight adj ~src ~dst =
+  let module H = Dumbnet_util.Heap in
+  let dist : (switch_id, float) Hashtbl.t = Hashtbl.create 64 in
+  let prev : (switch_id, switch_id) Hashtbl.t = Hashtbl.create 64 in
+  let settled = Hashtbl.create 64 in
+  let heap = H.create ~compare:Float.compare in
+  Hashtbl.replace dist src 0.;
+  H.push heap 0. src;
+  let finished = ref false in
+  while (not !finished) && not (H.is_empty heap) do
+    match H.pop heap with
+    | None -> finished := true
+    | Some (d, sw) ->
+      if not (Hashtbl.mem settled sw) then begin
+        Hashtbl.replace settled sw ();
+        if sw = dst then finished := true
+        else
+          List.iter
+            (fun (out, peer, peer_in) ->
+              let w = weight { sw; port = out } { sw = peer; port = peer_in } in
+              let alt = d +. w in
+              let better =
+                match Hashtbl.find_opt dist peer with
+                | None -> true
+                | Some cur -> alt < cur
+              in
+              if better then begin
+                Hashtbl.replace dist peer alt;
+                Hashtbl.replace prev peer sw;
+                H.push heap alt peer
+              end)
+            (adj sw)
+      end
+  done;
+  if src = dst then Some [ src ]
+  else if not (Hashtbl.mem dist dst && Hashtbl.mem prev dst) then None
+  else begin
+    let rec backtrack sw acc =
+      if sw = src then src :: acc else backtrack (Hashtbl.find prev sw) (sw :: acc)
+    in
+    Some (backtrack dst [])
+  end
+
+(* Yen's k-shortest loop-free routes. Candidate spur routes are kept in
+   a heap ordered by length; deviations ban the edges of already-chosen
+   routes sharing the same root prefix and the nodes of the prefix. *)
+let k_shortest_routes ?rng adj ~src ~dst ~k =
+  if k <= 0 then []
+  else begin
+    match shortest_route ?rng adj ~src ~dst with
+    | None -> []
+    | Some first ->
+      let chosen = ref [ first ] in
+      let module H = Dumbnet_util.Heap in
+      let candidates = H.create ~compare:compare in
+      let seen = Hashtbl.create 16 in
+      Hashtbl.replace seen first ();
+      let add_candidates last_route =
+        let arr = Array.of_list last_route in
+        for i = 0 to Array.length arr - 2 do
+          let spur = arr.(i) in
+          let root = Array.to_list (Array.sub arr 0 (i + 1)) in
+          let banned_edges =
+            List.filter_map
+              (fun r ->
+                let ra = Array.of_list r in
+                if Array.length ra > i + 1 && Array.to_list (Array.sub ra 0 (i + 1)) = root then
+                  Some (ra.(i), ra.(i + 1))
+                else None)
+              !chosen
+          in
+          let banned_nodes =
+            List.fold_left
+              (fun s n -> Switch_set.add n s)
+              Switch_set.empty
+              (List.filteri (fun j _ -> j < i) root)
+          in
+          match
+            shortest_route_avoiding ?rng ~banned_nodes ~banned_edges adj ~src:spur ~dst
+          with
+          | None -> ()
+          | Some spur_route ->
+            let total = root @ List.tl spur_route in
+            if not (Hashtbl.mem seen total) then begin
+              Hashtbl.replace seen total ();
+              H.push candidates (List.length total) total
+            end
+        done
+      in
+      let rec fill () =
+        if List.length !chosen < k then begin
+          add_candidates (List.hd !chosen);
+          match H.pop candidates with
+          | None -> ()
+          | Some (_, route) ->
+            chosen := route :: !chosen;
+            fill ()
+        end
+      in
+      fill ();
+      List.rev !chosen
+  end
+
+let host_endpoints g ~src ~dst =
+  if src = dst then None
+  else
+    match (Graph.host_location g src, Graph.host_location g dst) with
+    | Some src_loc, Some dst_loc when Graph.link_up g src_loc && Graph.link_up g dst_loc ->
+      Some (src_loc, dst_loc)
+    | Some _, Some _ | None, _ | _, None -> None
+
+let host_route ?rng g ~src ~dst =
+  match host_endpoints g ~src ~dst with
+  | None -> None
+  | Some (src_loc, dst_loc) -> (
+    let adj = graph_adjacency g in
+    match shortest_route ?rng adj ~src:src_loc.sw ~dst:dst_loc.sw with
+    | None -> None
+    | Some route -> Path.of_route ~adj ~src ~src_loc ~dst ~dst_loc route)
+
+let k_host_paths ?rng g ~src ~dst ~k =
+  match host_endpoints g ~src ~dst with
+  | None -> []
+  | Some (src_loc, dst_loc) ->
+    let adj = graph_adjacency g in
+    k_shortest_routes ?rng adj ~src:src_loc.sw ~dst:dst_loc.sw ~k
+    |> List.filter_map (fun route -> Path.of_route ~adj ~src ~src_loc ~dst ~dst_loc route)

@@ -1,0 +1,61 @@
+(** Routing algorithms over switch-level adjacency.
+
+    All functions operate on an abstract {!Path.adjacency} so they run
+    both on the ground-truth {!Graph} (controller side) and on a host's
+    cached path graph. All routes are loop-free switch sequences. *)
+
+open Types
+
+val graph_adjacency : Graph.t -> Path.adjacency
+(** Adjacency view of a graph (up links only). *)
+
+val bfs_distances : Path.adjacency -> from:switch_id -> (switch_id, int) Hashtbl.t
+(** Hop distance from [from] to every reachable switch. *)
+
+val shortest_route :
+  ?rng:Dumbnet_util.Rng.t ->
+  Path.adjacency ->
+  src:switch_id ->
+  dst:switch_id ->
+  switch_id list option
+(** One shortest switch sequence from [src] to [dst] (inclusive). With
+    [rng], ties between equal-cost predecessors are broken uniformly at
+    random, as the paper's load-balancing path generation requires. *)
+
+val shortest_route_avoiding :
+  ?rng:Dumbnet_util.Rng.t ->
+  banned_nodes:Switch_set.t ->
+  banned_edges:(switch_id * switch_id) list ->
+  Path.adjacency ->
+  src:switch_id ->
+  dst:switch_id ->
+  switch_id list option
+(** Shortest route that uses neither a banned node nor a banned
+    (unordered) switch pair. *)
+
+val weighted_route :
+  weight:(link_end -> link_end -> float) ->
+  Path.adjacency ->
+  src:switch_id ->
+  dst:switch_id ->
+  switch_id list option
+(** Dijkstra with per-link weights; used to generate backup paths by
+    penalising links of the primary path. *)
+
+val k_shortest_routes :
+  ?rng:Dumbnet_util.Rng.t ->
+  Path.adjacency ->
+  src:switch_id ->
+  dst:switch_id ->
+  k:int ->
+  switch_id list list
+(** Yen's algorithm: up to [k] distinct loop-free routes in nondecreasing
+    length order. *)
+
+val host_route :
+  ?rng:Dumbnet_util.Rng.t -> Graph.t -> src:host_id -> dst:host_id -> Path.t option
+(** Shortest concrete path between two attached hosts, [None] if either
+    host is detached or unreachable. [src] and [dst] must differ. *)
+
+val k_host_paths :
+  ?rng:Dumbnet_util.Rng.t -> Graph.t -> src:host_id -> dst:host_id -> k:int -> Path.t list

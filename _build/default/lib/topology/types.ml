@@ -1,0 +1,42 @@
+type switch_id = int
+
+type host_id = int
+
+type port = int
+
+type endpoint =
+  | Switch of switch_id
+  | Host of host_id
+
+let max_port = 254
+
+let pp_endpoint ppf = function
+  | Switch s -> Format.fprintf ppf "S%d" s
+  | Host h -> Format.fprintf ppf "H%d" h
+
+let equal_endpoint a b =
+  match (a, b) with
+  | Switch x, Switch y -> x = y
+  | Host x, Host y -> x = y
+  | Switch _, Host _ | Host _, Switch _ -> false
+
+type link_end = { sw : switch_id; port : port }
+
+let pp_link_end ppf { sw; port } = Format.fprintf ppf "S%d-%d" sw port
+
+module Link_key = struct
+  type t = link_end * link_end
+
+  let make a b = if (a.sw, a.port) <= (b.sw, b.port) then (a, b) else (b, a)
+
+  let ends t = t
+
+  let compare = compare
+
+  let equal = ( = )
+
+  let pp ppf (a, b) = Format.fprintf ppf "%a<->%a" pp_link_end a pp_link_end b
+end
+
+module Link_set = Set.Make (Link_key)
+module Switch_set = Set.Make (Int)

@@ -1,0 +1,22 @@
+(** Mutable binary min-heap, used by the event queue and Dijkstra.
+
+    Elements are ordered by a user-supplied comparison on keys; ties are
+    broken by insertion order so that the event queue is FIFO among
+    simultaneous events (a property the simulator's tests rely on). *)
+
+type ('k, 'v) t
+
+val create : compare:('k -> 'k -> int) -> ('k, 'v) t
+
+val size : ('k, 'v) t -> int
+
+val is_empty : ('k, 'v) t -> bool
+
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+
+val pop : ('k, 'v) t -> ('k * 'v) option
+(** Removes and returns the minimum element, FIFO among equal keys. *)
+
+val peek : ('k, 'v) t -> ('k * 'v) option
+
+val clear : ('k, 'v) t -> unit

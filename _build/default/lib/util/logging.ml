@@ -1,0 +1,5 @@
+let src name = Logs.Src.create ("dumbnet." ^ name) ~doc:("DumbNet " ^ name ^ " events")
+
+let setup ?(level = Logs.Info) () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some level)

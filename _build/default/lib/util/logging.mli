@@ -1,0 +1,11 @@
+(** Logging setup shared by the executables.
+
+    Each subsystem declares its own [Logs] source; binaries call
+    {!setup} once to install a console reporter. Libraries only ever
+    log — they never install reporters. *)
+
+val src : string -> Logs.src
+(** A per-subsystem source, named ["dumbnet.<name>"]. *)
+
+val setup : ?level:Logs.level -> unit -> unit
+(** Install a stderr reporter at [level] (default [Logs.Info]). *)

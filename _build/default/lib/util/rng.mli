@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulator draws from an explicit
+    [Rng.t] so that experiments are reproducible from a seed and
+    independent components can use independent streams ([split]). *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. Raises [Invalid_argument] on
+    an empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from an exponential distribution. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform random permutation of [0..n-1]. *)

@@ -1,0 +1,103 @@
+let mean = function
+  | [] -> 0.
+  | samples -> List.fold_left ( +. ) 0. samples /. float_of_int (List.length samples)
+
+let stddev samples =
+  match samples with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean samples in
+    let sq_sum = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. samples in
+    sqrt (sq_sum /. float_of_int (List.length samples))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: rest ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) rest
+
+let sorted_array samples =
+  let a = Array.of_list samples in
+  Array.sort Float.compare a;
+  a
+
+let percentile_of_sorted a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p <= 0. then a.(0)
+  else if p >= 100. then a.(n - 1)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let percentile p samples = percentile_of_sorted (sorted_array samples) p
+
+let median samples = percentile 50. samples
+
+type cdf = (float * float) list
+
+let cdf samples =
+  let a = sorted_array samples in
+  let n = Array.length a in
+  let points = ref [] in
+  for i = n - 1 downto 0 do
+    points := (a.(i), float_of_int (i + 1) /. float_of_int n) :: !points
+  done;
+  !points
+
+let cdf_at c v =
+  let rec last_le acc = function
+    | [] -> acc
+    | (x, f) :: rest -> if x <= v then last_le f rest else acc
+  in
+  last_le 0. c
+
+let histogram ~bins samples =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  match samples with
+  | [] -> []
+  | _ ->
+    let lo, hi = min_max samples in
+    let width = if hi = lo then 1. else (hi -. lo) /. float_of_int bins in
+    let counts = Array.make bins 0 in
+    let bucket v =
+      let b = int_of_float ((v -. lo) /. width) in
+      if b >= bins then bins - 1 else b
+    in
+    List.iter (fun v -> counts.(bucket v) <- counts.(bucket v) + 1) samples;
+    List.init bins (fun i ->
+        (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), counts.(i)))
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+let summarize samples =
+  match samples with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+    let a = sorted_array samples in
+    {
+      count = Array.length a;
+      mean = mean samples;
+      stddev = stddev samples;
+      min = a.(0);
+      p50 = percentile_of_sorted a 50.;
+      p95 = percentile_of_sorted a 95.;
+      p99 = percentile_of_sorted a 99.;
+      max = a.(Array.length a - 1);
+    }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f"
+    s.count s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max

@@ -1,0 +1,47 @@
+(** Descriptive statistics over float samples: summaries, percentiles,
+    CDFs and histograms, used by the benchmark harness to report the
+    paper's figures. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on lists shorter than 2. *)
+
+val min_max : float list -> float * float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p samples] for [p] in [\[0,100\]], linear interpolation
+    between closest ranks. Raises [Invalid_argument] on the empty
+    list. *)
+
+val median : float list -> float
+
+type cdf = (float * float) list
+(** Sorted [(value, cumulative_fraction)] pairs; fractions end at 1. *)
+
+val cdf : float list -> cdf
+
+val cdf_at : cdf -> float -> float
+(** [cdf_at c v] is the fraction of samples <= [v]. *)
+
+val histogram : bins:int -> float list -> (float * float * int) list
+(** [histogram ~bins samples] returns [(lo, hi, count)] per bin covering
+    the sample range. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+lib/workload/chaos.ml: Array Dumbnet_sim Dumbnet_topology Dumbnet_util Graph Link_key List

@@ -1,0 +1,1 @@
+lib/workload/chaos.mli: Dumbnet_sim Dumbnet_topology Dumbnet_util Graph

@@ -1,0 +1,1 @@
+lib/workload/flow.ml: Array Dumbnet_topology Dumbnet_util Fun List

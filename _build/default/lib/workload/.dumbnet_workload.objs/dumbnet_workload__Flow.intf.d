@@ -1,0 +1,1 @@
+lib/workload/flow.mli: Dumbnet_topology Dumbnet_util

@@ -1,0 +1,1 @@
+lib/workload/hibench.ml: Array Dumbnet_util Flow List Printf

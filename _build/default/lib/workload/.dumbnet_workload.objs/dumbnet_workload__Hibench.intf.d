@@ -1,0 +1,1 @@
+lib/workload/hibench.mli: Dumbnet_topology Dumbnet_util Flow

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Agent Array Dumbnet_host Dumbnet_packet Dumbnet_sim Engine Flow Hashtbl List Payload

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Agent Dumbnet_host Dumbnet_sim Dumbnet_topology Engine Flow

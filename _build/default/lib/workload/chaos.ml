@@ -1,0 +1,81 @@
+open Dumbnet_topology
+open Dumbnet_topology.Types
+module Rng = Dumbnet_util.Rng
+module Network = Dumbnet_sim.Network
+module Engine = Dumbnet_sim.Engine
+
+type action =
+  | Fail
+  | Restore
+
+type event = {
+  at_ns : int;
+  position : link_end;
+  action : action;
+}
+
+let schedule ~rng g ~duration_ns ~mtbf_ns ~mttr_ns =
+  if duration_ns <= 0 || mtbf_ns <= 0 || mttr_ns <= 0 then
+    invalid_arg "Chaos.schedule: durations must be positive";
+  let links = Array.of_list (List.map fst (Graph.switch_links g)) in
+  if Array.length links = 0 then []
+  else begin
+    let events = ref [] in
+    let t = ref 0 in
+    let continue = ref true in
+    while !continue do
+      t := !t + int_of_float (Rng.exponential rng (float_of_int mtbf_ns));
+      if !t >= duration_ns then continue := false
+      else begin
+        let key = Rng.pick_array rng links in
+        let a, _ = Link_key.ends key in
+        let repair = !t + max 1 (int_of_float (Rng.exponential rng (float_of_int mttr_ns))) in
+        events := { at_ns = !t; position = a; action = Fail } :: !events;
+        if repair < duration_ns then
+          events := { at_ns = repair; position = a; action = Restore } :: !events
+      end
+    done;
+    List.sort (fun a b -> compare a.at_ns b.at_ns) !events
+  end
+
+type outcome = {
+  mutable injected_failures : int;
+  mutable skipped_unsafe : int;
+  mutable repairs : int;
+}
+
+(* Would cutting this link disconnect the switch graph right now? *)
+let safe_to_cut g le =
+  match Graph.endpoint_at g le with
+  | Some (Switch _) when Graph.link_up g le ->
+    Graph.set_link_state g le ~up:false;
+    let ok = Graph.connected g in
+    Graph.set_link_state g le ~up:true;
+    ok
+  | Some _ | None -> false
+
+let inject ~network events =
+  let outcome = { injected_failures = 0; skipped_unsafe = 0; repairs = 0 } in
+  let eng = Network.engine network in
+  let g = Network.graph network in
+  let base = Engine.now eng in
+  List.iter
+    (fun e ->
+      Engine.schedule_at eng ~at_ns:(base + e.at_ns) (fun () ->
+          match e.action with
+          | Fail ->
+            if safe_to_cut g e.position then begin
+              outcome.injected_failures <- outcome.injected_failures + 1;
+              Network.fail_link network e.position
+            end
+            else outcome.skipped_unsafe <- outcome.skipped_unsafe + 1
+          | Restore ->
+            if
+              Graph.endpoint_at g e.position <> None
+              && not (Graph.link_up g e.position)
+            then begin
+              outcome.repairs <- outcome.repairs + 1;
+              Network.restore_link network e.position
+            end))
+    events;
+  outcome

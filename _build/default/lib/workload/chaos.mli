@@ -1,0 +1,41 @@
+(** Seeded failure injection ("chaos") schedules.
+
+    Generates a deterministic timeline of link failures and repairs
+    (exponential inter-failure and repair times) over a fabric's links,
+    and plays it against the simulator — refusing, at fire time, any
+    cut that would disconnect the switch graph, so experiments measure
+    recovery rather than partition behaviour. *)
+
+open Dumbnet_topology
+open Dumbnet_topology.Types
+
+type action =
+  | Fail
+  | Restore
+
+type event = {
+  at_ns : int;
+  position : link_end;
+  action : action;
+}
+
+val schedule :
+  rng:Dumbnet_util.Rng.t ->
+  Graph.t ->
+  duration_ns:int ->
+  mtbf_ns:int ->
+  mttr_ns:int ->
+  event list
+(** A timeline over the graph's current fabric links: failures arrive
+    with exponential(mtbf) gaps on randomly chosen up links; each is
+    repaired after an exponential(mttr) delay. Sorted by time. *)
+
+type outcome = {
+  mutable injected_failures : int;
+  mutable skipped_unsafe : int;  (** cuts refused because they would disconnect *)
+  mutable repairs : int;
+}
+
+val inject : network:Dumbnet_sim.Network.t -> event list -> outcome
+(** Arms every event on the network's engine. Safety (connectivity) is
+    evaluated when each event fires, against the then-current state. *)

@@ -1,0 +1,71 @@
+open Dumbnet_topology.Types
+module Rng = Dumbnet_util.Rng
+
+type spec = {
+  id : int;
+  src : host_id;
+  dst : host_id;
+  bytes : int;
+  start_ns : int;
+}
+
+let make ~id ~src ~dst ~bytes ?(start_ns = 0) () =
+  if bytes <= 0 then invalid_arg "Flow.make: bytes must be positive";
+  if src = dst then invalid_arg "Flow.make: src = dst";
+  { id; src; dst; bytes; start_ns }
+
+let pair ?(id = 0) ~src ~dst ~bytes () = [ make ~id ~src ~dst ~bytes () ]
+
+(* Random derangement by rejection: shuffle until no fixed points. *)
+let permutation ~rng ~hosts ~bytes ?(start_ns = 0) () =
+  let a = Array.of_list hosts in
+  let n = Array.length a in
+  if n < 2 then invalid_arg "Flow.permutation: need >= 2 hosts";
+  let perm = Array.init n Fun.id in
+  let ok () = Array.for_all (fun i -> perm.(i) <> i) (Array.init n Fun.id) in
+  Rng.shuffle rng perm;
+  let tries = ref 0 in
+  while (not (ok ())) && !tries < 100 do
+    Rng.shuffle rng perm;
+    incr tries
+  done;
+  if not (ok ()) then begin
+    (* Fall back to a rotation, always a derangement. *)
+    Array.iteri (fun i _ -> perm.(i) <- (i + 1) mod n) perm
+  end;
+  List.init n (fun i -> make ~id:i ~src:a.(i) ~dst:a.(perm.(i)) ~bytes ~start_ns ())
+
+let all_to_all ~hosts ~bytes ?(start_ns = 0) ?(first_id = 0) () =
+  let id = ref (first_id - 1) in
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun dst ->
+          if src = dst then None
+          else begin
+            incr id;
+            Some (make ~id:!id ~src ~dst ~bytes ~start_ns ())
+          end)
+        hosts)
+    hosts
+
+let many_to_one ~sources ~target ~bytes ?(start_ns = 0) () =
+  List.filteri (fun _ _ -> true) sources
+  |> List.filter (fun s -> s <> target)
+  |> List.mapi (fun i src -> make ~id:i ~src ~dst:target ~bytes ~start_ns ())
+
+let cross_groups ~from_group ~to_group ~bytes ?(start_ns = 0) () =
+  let id = ref (-1) in
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun dst ->
+          if src = dst then None
+          else begin
+            incr id;
+            Some (make ~id:!id ~src ~dst ~bytes ~start_ns ())
+          end)
+        to_group)
+    from_group
+
+let total_bytes specs = List.fold_left (fun acc s -> acc + s.bytes) 0 specs

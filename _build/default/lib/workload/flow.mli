@@ -1,0 +1,39 @@
+(** Flow specifications and the classic data center traffic patterns
+    used across the evaluation (iperf-style long flows, permutation
+    traffic, all-to-all shuffles, incast). *)
+
+open Dumbnet_topology.Types
+
+type spec = {
+  id : int;  (** also used as the flow id on the wire *)
+  src : host_id;
+  dst : host_id;
+  bytes : int;
+  start_ns : int;
+}
+
+val make : id:int -> src:host_id -> dst:host_id -> bytes:int -> ?start_ns:int -> unit -> spec
+
+val pair : ?id:int -> src:host_id -> dst:host_id -> bytes:int -> unit -> spec list
+(** One long flow — the iperf single-host benchmark. *)
+
+val permutation :
+  rng:Dumbnet_util.Rng.t -> hosts:host_id list -> bytes:int -> ?start_ns:int -> unit -> spec list
+(** A random permutation with no fixed points: every host sends to
+    exactly one other host. *)
+
+val all_to_all :
+  hosts:host_id list -> bytes:int -> ?start_ns:int -> ?first_id:int -> unit -> spec list
+(** Every ordered pair — a full shuffle. [bytes] is per flow. *)
+
+val many_to_one :
+  sources:host_id list -> target:host_id -> bytes:int -> ?start_ns:int -> unit -> spec list
+(** Incast. *)
+
+val cross_groups :
+  from_group:host_id list -> to_group:host_id list -> bytes:int -> ?start_ns:int -> unit ->
+  spec list
+(** All flows from one rack/group to another (the leaf-to-leaf aggregate
+    throughput experiment). *)
+
+val total_bytes : spec list -> int

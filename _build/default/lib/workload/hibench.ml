@@ -1,0 +1,129 @@
+module Rng = Dumbnet_util.Rng
+
+type stage = {
+  stage_name : string;
+  compute_ns : int;
+  flows : Flow.spec list;
+}
+
+type job = {
+  job_name : string;
+  stages : stage list;
+}
+
+let ms n = n * 1_000_000
+
+(* A shuffle stage mimicking Hadoop execution: each mapper works its
+   reducer list in randomized order with a limited number of task slots
+   (waves), shipping each partition as two parallel spill flows. Volumes
+   carry +/-25% jitter and an occasional 3x straggler partition — the
+   size skew real shuffles exhibit and the imbalance traffic engineering
+   feeds on. *)
+let flows_per_pair = 2
+
+let wave_ns = 6_000_000
+
+let shuffle ~rng ~name ~compute_ns ~mappers ~reducers ~bytes_per_flow =
+  let id = ref (-1) in
+  let flows =
+    List.concat_map
+      (fun src ->
+        let targets = Array.of_list (List.filter (fun dst -> dst <> src) reducers) in
+        Rng.shuffle rng targets;
+        List.concat
+          (List.mapi
+             (fun wave dst ->
+               List.init flows_per_pair (fun _ ->
+                   incr id;
+                   let jitter = (Rng.int rng 51) - 25 in
+                   let straggler = if Rng.int rng 100 < 12 then 3 else 1 in
+                   let bytes =
+                     max 1450
+                       (straggler * (bytes_per_flow + (bytes_per_flow * jitter / 100))
+                       / flows_per_pair)
+                   in
+                   Flow.make ~id:!id ~src ~dst ~bytes ~start_ns:(wave * wave_ns) ()))
+             (Array.to_list targets)))
+      mappers
+  in
+  { stage_name = name; compute_ns; flows }
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let quarter hosts = take (max 1 (List.length hosts / 4)) hosts
+
+let aggregation ~rng ~hosts ~scale_bytes =
+  let n = List.length hosts in
+  {
+    job_name = "Aggregation";
+    stages =
+      [
+        shuffle ~rng ~name:"map-shuffle" ~compute_ns:(ms 18) ~mappers:hosts ~reducers:hosts
+          ~bytes_per_flow:(scale_bytes / (2 * n));
+        shuffle ~rng ~name:"reduce" ~compute_ns:(ms 10) ~mappers:hosts
+          ~reducers:(quarter hosts)
+          ~bytes_per_flow:(scale_bytes / (5 * n));
+      ];
+  }
+
+let join ~rng ~hosts ~scale_bytes =
+  let n = List.length hosts in
+  {
+    job_name = "Join";
+    stages =
+      [
+        shuffle ~rng ~name:"table-A" ~compute_ns:(ms 15) ~mappers:hosts ~reducers:hosts
+          ~bytes_per_flow:(scale_bytes * 3 / (5 * n));
+        shuffle ~rng ~name:"table-B" ~compute_ns:(ms 8) ~mappers:hosts ~reducers:hosts
+          ~bytes_per_flow:(scale_bytes * 3 / (5 * n));
+        shuffle ~rng ~name:"join-out" ~compute_ns:(ms 12) ~mappers:hosts
+          ~reducers:(quarter hosts)
+          ~bytes_per_flow:(scale_bytes * 3 / (10 * n));
+      ];
+  }
+
+let pagerank ~rng ~hosts ~scale_bytes =
+  let n = List.length hosts in
+  let iter i =
+    shuffle ~rng
+      ~name:(Printf.sprintf "iteration-%d" i)
+      ~compute_ns:(ms 14) ~mappers:hosts ~reducers:hosts
+      ~bytes_per_flow:(scale_bytes / (2 * n))
+  in
+  { job_name = "Pagerank"; stages = [ iter 1; iter 2; iter 3 ] }
+
+let terasort ~rng ~hosts ~scale_bytes =
+  let n = List.length hosts in
+  {
+    job_name = "Terasort";
+    stages =
+      [
+        shuffle ~rng ~name:"sample" ~compute_ns:(ms 5) ~mappers:(quarter hosts)
+          ~reducers:(take 1 hosts) ~bytes_per_flow:(scale_bytes / (50 * n));
+        shuffle ~rng ~name:"sort-shuffle" ~compute_ns:(ms 12) ~mappers:hosts ~reducers:hosts
+          ~bytes_per_flow:(scale_bytes / n);
+      ];
+  }
+
+let wordcount ~rng ~hosts ~scale_bytes =
+  let n = List.length hosts in
+  {
+    job_name = "Wordcount";
+    stages =
+      [
+        shuffle ~rng ~name:"combine-shuffle" ~compute_ns:(ms 30) ~mappers:hosts ~reducers:hosts
+          ~bytes_per_flow:(scale_bytes / (4 * n));
+      ];
+  }
+
+let suite ~rng ~hosts ~scale_bytes =
+  [
+    aggregation ~rng ~hosts ~scale_bytes;
+    join ~rng ~hosts ~scale_bytes;
+    pagerank ~rng ~hosts ~scale_bytes;
+    terasort ~rng ~hosts ~scale_bytes;
+    wordcount ~rng ~hosts ~scale_bytes;
+  ]
+
+let total_bytes job =
+  List.fold_left (fun acc stage -> acc + Flow.total_bytes stage.flows) 0 job.stages

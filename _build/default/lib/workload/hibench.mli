@@ -1,0 +1,41 @@
+(** HiBench-style big-data jobs (paper §7.4, Fig 13).
+
+    The paper uses HiBench "to capture the flow dependencies in
+    real-world applications". Each task is modelled as the sequence of
+    communication stages its Hadoop/Spark incarnation produces —
+    shuffles with the task's characteristic fan-out and volume,
+    separated by compute phases — generated deterministically from a
+    seed over the evaluation hosts. *)
+
+open Dumbnet_topology.Types
+
+type stage = {
+  stage_name : string;
+  compute_ns : int;  (** think time before the stage's flows start *)
+  flows : Flow.spec list;  (** start_ns are stage-relative (0) *)
+}
+
+type job = {
+  job_name : string;
+  stages : stage list;
+}
+
+val aggregation : rng:Dumbnet_util.Rng.t -> hosts:host_id list -> scale_bytes:int -> job
+(** One wide shuffle, then reduction onto a quarter of the hosts. *)
+
+val join : rng:Dumbnet_util.Rng.t -> hosts:host_id list -> scale_bytes:int -> job
+(** Two table shuffles back-to-back, then the join output stage. *)
+
+val pagerank : rng:Dumbnet_util.Rng.t -> hosts:host_id list -> scale_bytes:int -> job
+(** Three all-to-all iterations of moderate volume. *)
+
+val terasort : rng:Dumbnet_util.Rng.t -> hosts:host_id list -> scale_bytes:int -> job
+(** A tiny sampling stage, then the heaviest full shuffle of the suite. *)
+
+val wordcount : rng:Dumbnet_util.Rng.t -> hosts:host_id list -> scale_bytes:int -> job
+(** Combiner-reduced shuffle: light network, more compute. *)
+
+val suite : rng:Dumbnet_util.Rng.t -> hosts:host_id list -> scale_bytes:int -> job list
+(** All five, in the paper's Figure 13 order. *)
+
+val total_bytes : job -> int

@@ -1,0 +1,138 @@
+open Dumbnet_packet
+open Dumbnet_sim
+open Dumbnet_host
+
+type pacing = {
+  mtu : int;
+  packet_gap_ns : int;
+  burst_bytes : int;
+  pause_ns : int;
+}
+
+let default_pacing =
+  { mtu = 1450; packet_gap_ns = 2_200; burst_bytes = 256 * 1024; pause_ns = 1_000_000 }
+
+type result = {
+  completions : (int * int) list;
+  incomplete : int list;
+  finished_ns : int;
+  delivered_bytes : int;
+  arrivals : (int * int) list;
+}
+
+type flow_progress = {
+  spec : Flow.spec;
+  mutable sent : int;
+  mutable received : int;
+  mutable since_pause : int;
+  mutable seq : int;
+  mutable done_ns : int option;
+}
+
+let run ?(pacing = default_pacing) ?deadline_ns ~engine ~agent_of ~flows () =
+  if pacing.mtu <= 0 then invalid_arg "Runner.run: mtu must be positive";
+  let progress = Hashtbl.create (List.length flows) in
+  List.iter
+    (fun spec ->
+      if Hashtbl.mem progress spec.Flow.id then invalid_arg "Runner.run: duplicate flow id";
+      Hashtbl.replace progress spec.Flow.id
+        { spec; sent = 0; received = 0; since_pause = 0; seq = 0; done_ns = None })
+    flows;
+  let delivered = ref 0 in
+  let arrivals = ref [] in
+  (* Receive side: one callback per destination host counts bytes. *)
+  let dsts = List.sort_uniq compare (List.map (fun s -> s.Flow.dst) flows) in
+  List.iter
+    (fun dst ->
+      let agent = agent_of dst in
+      Agent.on_data agent (fun ~src:_ payload ->
+          match payload with
+          | Payload.Data { flow; size; _ } -> (
+            let now = Engine.now engine in
+            delivered := !delivered + size;
+            arrivals := (now, size) :: !arrivals;
+            match Hashtbl.find_opt progress flow with
+            | Some fp when fp.spec.Flow.dst = Agent.self agent ->
+              fp.received <- fp.received + size;
+              if fp.received >= fp.spec.Flow.bytes && fp.done_ns = None then
+                fp.done_ns <- Some now
+            | Some _ | None -> ())
+          | _ -> ()))
+    dsts;
+  (* Send side: a paced loop per flow. *)
+  let rec pump fp () =
+    let remaining = fp.spec.Flow.bytes - fp.sent in
+    if remaining > 0 then begin
+      let size = min pacing.mtu remaining in
+      let agent = agent_of fp.spec.Flow.src in
+      (match
+         Agent.send_data agent ~dst:fp.spec.Flow.dst ~flow:fp.spec.Flow.id ~seq:fp.seq ~size ()
+       with
+      | Agent.Sent _ | Agent.Queued ->
+        fp.sent <- fp.sent + size;
+        fp.seq <- fp.seq + 1;
+        fp.since_pause <- fp.since_pause + size
+      | Agent.No_route ->
+        (* Transient (e.g. mid-failover with empty caches): retry after
+           a pause rather than spinning. *)
+        fp.since_pause <- pacing.burst_bytes);
+      let delay =
+        if fp.since_pause >= pacing.burst_bytes then begin
+          fp.since_pause <- 0;
+          pacing.pause_ns
+        end
+        else pacing.packet_gap_ns
+      in
+      Engine.schedule engine ~delay_ns:delay (pump fp)
+    end
+  in
+  Hashtbl.iter
+    (fun _ fp -> Engine.schedule_at engine ~at_ns:fp.spec.Flow.start_ns (pump fp))
+    progress;
+  (match deadline_ns with
+  | Some limit -> Engine.run ~until_ns:limit engine
+  | None -> Engine.run engine);
+  let completions = ref [] and incomplete = ref [] in
+  Hashtbl.iter
+    (fun id fp ->
+      match fp.done_ns with
+      | Some ns -> completions := (id, ns) :: !completions
+      | None -> incomplete := id :: !incomplete)
+    progress;
+  let completions = List.sort compare !completions in
+  let finished_ns =
+    match (deadline_ns, !incomplete, completions) with
+    | Some limit, _ :: _, _ -> limit
+    | _, _, [] -> Engine.now engine
+    | _, _, _ :: _ -> List.fold_left (fun acc (_, ns) -> max acc ns) 0 completions
+  in
+  {
+    completions;
+    incomplete = List.sort compare !incomplete;
+    finished_ns;
+    delivered_bytes = !delivered;
+    arrivals = List.rev !arrivals;
+  }
+
+let throughput_series ~bin_ns ~from_ns ~to_ns arrivals =
+  if bin_ns <= 0 then invalid_arg "Runner.throughput_series: bin must be positive";
+  let bins = ((to_ns - from_ns) / bin_ns) + 1 in
+  if bins <= 0 then []
+  else begin
+    let acc = Array.make bins 0 in
+    List.iter
+      (fun (at, bytes) ->
+        if at >= from_ns && at <= to_ns then begin
+          let b = (at - from_ns) / bin_ns in
+          if b < bins then acc.(b) <- acc.(b) + bytes
+        end)
+      arrivals;
+    List.init bins (fun b ->
+        (from_ns + (b * bin_ns), float_of_int (acc.(b) * 8) /. float_of_int bin_ns))
+  end
+
+let makespan_ns flows result =
+  let first_start =
+    List.fold_left (fun acc s -> min acc s.Flow.start_ns) max_int flows
+  in
+  if flows = [] then 0 else result.finished_ns - first_start

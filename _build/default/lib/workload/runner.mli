@@ -1,0 +1,51 @@
+(** Drives flow workloads over a fabric and collects completion and
+    arrival metrics.
+
+    Senders are paced per flow: packets go out MTU-sized with a small
+    inter-packet gap, and every [burst_bytes] the flow pauses for
+    [pause_ns] — modelling application/TCP-window bursts. The pauses
+    exceed the flowlet gap, which is exactly the structure flowlet TE
+    exploits (and real traffic exhibits, per §6.2).
+
+    Receivers count per-flow bytes through the agents' data callbacks
+    (the runner owns those callbacks while it runs). *)
+
+open Dumbnet_topology.Types
+open Dumbnet_sim
+open Dumbnet_host
+
+type pacing = {
+  mtu : int;  (** payload bytes per packet (default 1450) *)
+  packet_gap_ns : int;  (** spacing inside a burst (default 2200) *)
+  burst_bytes : int;  (** burst length (default 256 KiB) *)
+  pause_ns : int;  (** inter-burst pause (default 1 ms) *)
+}
+
+val default_pacing : pacing
+
+type result = {
+  completions : (int * int) list;  (** (flow id, completion time ns), completed flows only *)
+  incomplete : int list;  (** flow ids that missed the deadline *)
+  finished_ns : int;  (** when the last completion (or the deadline) happened *)
+  delivered_bytes : int;
+  arrivals : (int * int) list;  (** (arrival ns, bytes) per packet, oldest first *)
+}
+
+val run :
+  ?pacing:pacing ->
+  ?deadline_ns:int ->
+  engine:Engine.t ->
+  agent_of:(host_id -> Agent.t) ->
+  flows:Flow.spec list ->
+  unit ->
+  result
+(** Runs the engine until every flow completes or [deadline_ns]
+    (absolute simulated time) passes. *)
+
+val throughput_series : bin_ns:int -> from_ns:int -> to_ns:int -> (int * int) list ->
+  (int * float) list
+(** Bin packet arrivals into (bin start ns, Gbps) points. *)
+
+val makespan_ns : Flow.spec list -> result -> int
+(** Last completion minus earliest flow start; the deadline-clamped
+    [finished_ns] if anything was incomplete. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Builder Dumbnet Graph Hashtbl Link_key List Path

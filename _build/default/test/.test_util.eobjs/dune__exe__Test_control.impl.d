@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Builder Dumbnet Graph List Payload QCheck QCheck_alcotest Tag

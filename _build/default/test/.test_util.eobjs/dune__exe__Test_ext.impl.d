@@ -1,0 +1,1 @@
+test/test_ext.ml: Agent Alcotest Array Builder Dumbnet Graph Hashtbl List Option Path Printf QCheck QCheck_alcotest Routing Switch_set Verifier

@@ -1,0 +1,1 @@
+test/test_host.ml: Agent Alcotest Builder Dumbnet Frame Graph Link_key List Option Path Pathgraph Pathtable Payload Routing Switch_set Tag Topocache Verifier

@@ -1,0 +1,1 @@
+test/test_integration.ml: Agent Alcotest Array Builder Controller Dumbnet Graph Hashtbl Link_key List Path Pathtable QCheck QCheck_alcotest Standby

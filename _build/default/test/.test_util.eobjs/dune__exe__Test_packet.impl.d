@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Builder Bytes Char Crc32 Dumbnet Format Frame Fun Gen List Mpls Pathgraph Payload QCheck QCheck_alcotest Tag Wire

@@ -1,0 +1,1 @@
+test/test_pathgraph.ml: Alcotest Array Builder Dumbnet Graph Hashtbl Link_key Link_set List Path Pathgraph QCheck QCheck_alcotest Routing Switch_set

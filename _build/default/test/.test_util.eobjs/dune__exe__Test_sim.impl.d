@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Builder Dumbnet Frame Graph List Payload

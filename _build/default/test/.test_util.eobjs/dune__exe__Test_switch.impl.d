@@ -1,0 +1,1 @@
+test/test_switch.ml: Alcotest Dumbnet Frame Gen List Payload QCheck QCheck_alcotest Tag

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Builder Dumbnet Graph Hashtbl Link_key List Option Path QCheck QCheck_alcotest Routing Switch_set

@@ -1,0 +1,272 @@
+(* Integration tests: the whole stack — discovery, bootstrap, traffic,
+   failures, recovery — on several topologies, plus randomized failure
+   schedules as properties. *)
+
+open Dumbnet.Topology
+open Dumbnet.Topology.Types
+open Dumbnet.Host
+module Fabric = Dumbnet.Fabric
+module Rng = Dumbnet.Util.Rng
+module Network = Dumbnet.Sim.Network
+
+let check = Alcotest.check
+
+let all_pairs_deliver fab hosts =
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst -> if src <> dst then ignore (Fabric.send fab ~src ~dst ~size:64 ()))
+        hosts)
+    hosts;
+  Fabric.run fab;
+  let n = List.length hosts in
+  let received =
+    List.fold_left (fun acc h -> acc + (Agent.stats (Fabric.agent fab h)).Agent.data_received) 0 hosts
+  in
+  (received, n * (n - 1))
+
+let test_all_pairs_on_topologies () =
+  List.iter
+    (fun (name, built) ->
+      let fab = Fabric.create ~seed:21 built in
+      Alcotest.(check bool) (name ^ ": discovery exact") true
+        (Graph.equal (Fabric.discovery fab).Dumbnet.Control.Discovery.topology
+           built.Builder.graph);
+      let got, want = all_pairs_deliver fab built.Builder.hosts in
+      check Alcotest.int (name ^ ": all pairs deliver") want got)
+    [
+      ("figure1", Builder.figure1 ());
+      ("leaf-spine", Builder.leaf_spine ~spines:2 ~leaves:3 ~hosts_per_leaf:2 ());
+      ("cube3", Builder.cube ~n:3 ~controller_at:`Corner ());
+      ("fat-tree k=4", Builder.fat_tree ~k:4 ());
+    ]
+
+let test_packet_level_discovery_agrees () =
+  let built = Builder.figure1 () in
+  let oracle = Fabric.create ~seed:1 built in
+  let built2 = Builder.figure1 () in
+  let packet = Fabric.create ~seed:1 ~packet_level_discovery:true built2 in
+  let so = (Fabric.discovery oracle).Dumbnet.Control.Discovery.stats in
+  let sp = (Fabric.discovery packet).Dumbnet.Control.Discovery.stats in
+  check Alcotest.int "same probe count" so.probes_sent sp.probes_sent;
+  Alcotest.(check bool) "same topology" true
+    (Graph.equal (Fabric.discovery oracle).Dumbnet.Control.Discovery.topology
+       (Fabric.discovery packet).Dumbnet.Control.Discovery.topology)
+
+let test_failover_and_restore_cycle () =
+  let built = Builder.leaf_spine ~spines:2 ~leaves:2 ~hosts_per_leaf:2 () in
+  let fab = Fabric.create ~seed:23 built in
+  let src = List.nth built.Builder.hosts 0 and dst = List.nth built.Builder.hosts 3 in
+  ignore (Fabric.send fab ~src ~dst ~size:64 ());
+  Fabric.run fab;
+  let dst_stats = Agent.stats (Fabric.agent fab dst) in
+  check Alcotest.int "initial delivery" 1 dst_stats.Agent.data_received;
+  (* Cut, send, restore, send: every packet must arrive. *)
+  let le =
+    match Pathtable.choose (Agent.pathtable (Fabric.agent fab src)) ~dst ~flow:0 with
+    | Some { Path.hops = (sw, port) :: _; _ } -> { sw; port }
+    | _ -> Alcotest.fail "no bound path"
+  in
+  Fabric.fail_link fab le;
+  Fabric.run fab;
+  ignore (Fabric.send fab ~src ~dst ~flow:1 ~size:64 ());
+  Fabric.run fab;
+  check Alcotest.int "delivered around failure" 2 dst_stats.Agent.data_received;
+  (* Run past the monitor's 1 s suppression window, then restore so the
+     up-notice actually fires. *)
+  Fabric.run ~for_ns:1_100_000_000 fab;
+  Fabric.restore_link fab le;
+  Fabric.run fab;
+  ignore (Fabric.send fab ~src ~dst ~flow:2 ~size:64 ());
+  Fabric.run fab;
+  check Alcotest.int "delivered after restore" 3 dst_stats.Agent.data_received;
+  (* The controller's view converged back to ground truth. *)
+  Alcotest.(check bool) "controller view healed" true
+    (Graph.equal
+       (Dumbnet.Control.Topo_store.graph (Controller.store (Fabric.controller fab)))
+       built.Builder.graph)
+
+let test_stage1_reaches_all_hosts () =
+  let built = Builder.testbed () in
+  let fab = Fabric.create ~seed:27 built in
+  let heard = Hashtbl.create 32 in
+  List.iter
+    (fun h ->
+      if h <> built.Builder.controller then
+        Agent.set_event_hook (Fabric.agent fab h) (fun _ -> Hashtbl.replace heard h ()))
+    built.Builder.hosts;
+  Fabric.fail_link fab { sw = 2; port = 1 };
+  Fabric.run fab;
+  check Alcotest.int "every host heard stage 1" 26 (Hashtbl.length heard)
+
+let test_controller_patch_version_monotonic () =
+  let built = Builder.leaf_spine ~spines:2 ~leaves:2 ~hosts_per_leaf:2 () in
+  let fab = Fabric.create ~seed:29 built in
+  let versions = ref [] in
+  let observer = List.nth built.Builder.hosts 3 in
+  Agent.set_patch_hook (Fabric.agent fab observer) (fun ~version _ ->
+      versions := version :: !versions);
+  (* Warm a path so the observer is reachable... it is, via bootstrap. *)
+  Fabric.fail_link fab { sw = 2; port = 1 };
+  Fabric.run fab;
+  Fabric.run ~for_ns:1_100_000_000 fab;
+  Fabric.restore_link fab { sw = 2; port = 1 };
+  Fabric.run fab;
+  Fabric.fail_link fab { sw = 2; port = 2 };
+  Fabric.run fab;
+  let vs = List.rev !versions in
+  check Alcotest.int "three patches" 3 (List.length vs);
+  Alcotest.(check bool) "strictly increasing" true (vs = List.sort_uniq compare vs);
+  (* The replica ensemble journaled every change. *)
+  let log =
+    Dumbnet.Control.Replica.committed_log (Controller.replicas (Fabric.controller fab))
+  in
+  check Alcotest.int "journal length" 3 (List.length log)
+
+let test_flowlet_fabric_end_to_end () =
+  let built = Builder.leaf_spine ~spines:2 ~leaves:2 ~hosts_per_leaf:2 () in
+  let fab = Fabric.create ~seed:31 built in
+  let te = Dumbnet.Ext.Flowlet.create () in
+  List.iter
+    (fun h -> Dumbnet.Ext.Flowlet.enable te (Fabric.agent fab h))
+    built.Builder.hosts;
+  let src = List.nth built.Builder.hosts 0 and dst = List.nth built.Builder.hosts 3 in
+  (* Bursts separated by > gap: all must arrive despite path changes. *)
+  for burst = 0 to 4 do
+    Dumbnet.Sim.Engine.schedule_at (Fabric.engine fab)
+      ~at_ns:(Fabric.now_ns fab + (burst * 2_000_000))
+      (fun () ->
+        for seq = 0 to 9 do
+          ignore (Fabric.send fab ~src ~dst ~flow:1 ~seq ~size:200 ())
+        done)
+  done;
+  Fabric.run fab;
+  check Alcotest.int "all bursts delivered" 50
+    (Agent.stats (Fabric.agent fab dst)).Agent.data_received
+
+let test_controller_failover () =
+  let built = Builder.leaf_spine ~spines:2 ~leaves:3 ~hosts_per_leaf:2 () in
+  let fab = Fabric.create ~seed:33 built in
+  let primary = built.Builder.controller in
+  let standby_host = List.nth built.Builder.hosts 4 in
+  let standby =
+    Standby.create ~takeover_after_ns:300_000_000 ~check_interval_ns:50_000_000
+      ~agent:(Fabric.agent fab standby_host)
+      ~topology:(Fabric.discovery fab).Dumbnet.Control.Discovery.topology
+      ~hosts:built.Builder.hosts ()
+  in
+  Controller.start_heartbeats ~interval_ns:100_000_000 (Fabric.controller fab)
+    ~standbys:[ standby_host ];
+  (* Healthy primary: the standby stays passive. *)
+  Fabric.run ~for_ns:500_000_000 fab;
+  Alcotest.(check bool) "no premature takeover" false (Standby.promoted standby);
+  (* Kill the primary's access link; heartbeats stop. *)
+  (match Graph.host_location (Network.graph (Fabric.network fab)) primary with
+  | Some le -> Fabric.fail_link fab le
+  | None -> Alcotest.fail "primary detached");
+  Fabric.run ~for_ns:600_000_000 fab;
+  Alcotest.(check bool) "standby promoted" true (Standby.promoted standby);
+  (* Every other host now points at the new controller... *)
+  List.iter
+    (fun h ->
+      if h <> primary && h <> standby_host then
+        Alcotest.(check bool) "host switched controller" true
+          (Agent.controller (Fabric.agent fab h) = Some standby_host))
+    built.Builder.hosts;
+  (* ...and path queries are served again: a cold destination pair. *)
+  let src = List.nth built.Builder.hosts 1 and dst = List.nth built.Builder.hosts 5 in
+  let before = (Agent.stats (Fabric.agent fab dst)).Agent.data_received in
+  ignore (Fabric.send fab ~src ~dst ~flow:99 ~size:64 ());
+  Fabric.run fab;
+  check Alcotest.int "query served by new controller" (before + 1)
+    (Agent.stats (Fabric.agent fab dst)).Agent.data_received
+
+let test_link_addition_adopted () =
+  let built = Builder.leaf_spine ~ports:6 ~spines:1 ~leaves:2 ~hosts_per_leaf:2 () in
+  let fab = Fabric.create ~seed:35 built in
+  let store = Controller.store (Fabric.controller fab) in
+  (* A brand-new direct leaf-to-leaf cable on free ports (leaves are
+     switches 1 and 2; ports 1 = spine, 2-3 = hosts, 4+ free... the
+     builder sized ports to fit, so give ourselves room). *)
+  let g = Network.graph (Fabric.network fab) in
+  let free_port sw =
+    let rec find p = if Graph.endpoint_at g { sw; port = p } = None then p else find (p + 1) in
+    find 1
+  in
+  let a = { sw = 1; port = free_port 1 } in
+  let b = { sw = 2; port = free_port 2 } in
+  Alcotest.(check bool) "store does not know the cable yet" true
+    (Graph.endpoint_at (Dumbnet.Control.Topo_store.graph store) a = None);
+  Network.add_link (Fabric.network fab) a b;
+  Fabric.run fab;
+  (* The controller probed, confirmed, recorded and patched. *)
+  Alcotest.(check bool) "store adopted the new link" true
+    (Graph.peer_port (Dumbnet.Control.Topo_store.graph store) a = Some b);
+  Alcotest.(check bool) "a patch went out" true
+    (Controller.patches_sent (Fabric.controller fab) >= 1);
+  (* New queries route over the shortcut: leaf-to-leaf is now 2 switches. *)
+  let src = List.nth built.Builder.hosts 0 and dst = List.nth built.Builder.hosts 3 in
+  match Controller.serve (Fabric.controller fab) ~src ~dst with
+  | Some pg ->
+    check Alcotest.int "shortcut used" 2
+      (Path.length (Dumbnet.Topology.Pathgraph.primary pg))
+  | None -> Alcotest.fail "no path served"
+
+(* --- randomized failure schedules --- *)
+
+let connectivity_under_failures_prop =
+  QCheck.Test.make ~name:"pairs stay reachable while the fabric stays connected" ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let built = Builder.leaf_spine ~spines:2 ~leaves:3 ~hosts_per_leaf:2 () in
+      let fab = Fabric.create ~seed built in
+      let g = Network.graph (Fabric.network fab) in
+      let hosts = Array.of_list built.Builder.hosts in
+      let ok = ref true in
+      for _ = 1 to 4 do
+        (* Fail one random up fabric link, but never disconnect. *)
+        let links = List.filter snd (Graph.switch_links g) in
+        (match links with
+        | [] -> ()
+        | _ -> (
+          let key, _ = List.nth links (Rng.int rng (List.length links)) in
+          let a, _ = Link_key.ends key in
+          Graph.set_link_state g a ~up:false;
+          if not (Graph.connected g) then Graph.set_link_state g a ~up:true
+          else begin
+            Graph.set_link_state g a ~up:true;
+            Fabric.fail_link fab a;
+            Fabric.run fab
+          end));
+        (* One random exchange must succeed. *)
+        let src = hosts.(Rng.int rng (Array.length hosts)) in
+        let dst = hosts.(Rng.int rng (Array.length hosts)) in
+        if src <> dst then begin
+          let before = (Agent.stats (Fabric.agent fab dst)).Agent.data_received in
+          ignore (Fabric.send fab ~src ~dst ~flow:(Rng.int rng 1000) ~size:64 ());
+          Fabric.run fab;
+          if (Agent.stats (Fabric.agent fab dst)).Agent.data_received <> before + 1 then
+            ok := false
+        end
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "all pairs on 4 topologies" `Quick test_all_pairs_on_topologies;
+          Alcotest.test_case "packet-level discovery agrees" `Quick
+            test_packet_level_discovery_agrees;
+          Alcotest.test_case "failover + restore cycle" `Quick test_failover_and_restore_cycle;
+          Alcotest.test_case "stage 1 reaches all hosts" `Quick test_stage1_reaches_all_hosts;
+          Alcotest.test_case "patch versions monotonic" `Quick
+            test_controller_patch_version_monotonic;
+          Alcotest.test_case "flowlet fabric end to end" `Quick test_flowlet_fabric_end_to_end;
+          Alcotest.test_case "controller failover" `Quick test_controller_failover;
+          Alcotest.test_case "link addition adopted" `Quick test_link_addition_adopted;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest connectivity_under_failures_prop ]);
+    ]

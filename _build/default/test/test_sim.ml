@@ -1,0 +1,296 @@
+(* Tests for the discrete-event simulator: engine semantics, link
+   timing, queue drops, NIC models, failure injection. *)
+
+open Dumbnet.Topology
+open Dumbnet.Topology.Types
+open Dumbnet.Packet
+module Engine = Dumbnet.Sim.Engine
+module Network = Dumbnet.Sim.Network
+module Nic = Dumbnet.Sim.Nic
+
+let check = Alcotest.check
+
+(* --- engine --- *)
+
+let test_engine_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng ~delay_ns:30 (fun () -> log := 3 :: !log);
+  Engine.schedule eng ~delay_ns:10 (fun () -> log := 1 :: !log);
+  Engine.schedule eng ~delay_ns:20 (fun () -> log := 2 :: !log);
+  Engine.run eng;
+  check Alcotest.(list int) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check Alcotest.int "clock at last event" 30 (Engine.now eng)
+
+let test_engine_fifo_same_time () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng ~delay_ns:5 (fun () -> log := "a" :: !log);
+  Engine.schedule eng ~delay_ns:5 (fun () -> log := "b" :: !log);
+  Engine.run eng;
+  check Alcotest.(list string) "fifo" [ "a"; "b" ] (List.rev !log)
+
+let test_engine_cascading () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then Engine.schedule eng ~delay_ns:10 tick
+  in
+  Engine.schedule eng ~delay_ns:0 tick;
+  Engine.run eng;
+  check Alcotest.int "cascade" 5 !count;
+  check Alcotest.int "clock" 40 (Engine.now eng)
+
+let test_engine_until () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  Engine.schedule eng ~delay_ns:100 (fun () -> fired := true);
+  Engine.run ~until_ns:50 eng;
+  Alcotest.(check bool) "not yet" false !fired;
+  check Alcotest.int "clock advanced to limit" 50 (Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check bool) "eventually" true !fired
+
+let test_engine_rejects_past () =
+  let eng = Engine.create () in
+  Engine.schedule eng ~delay_ns:10 (fun () -> ());
+  Engine.run eng;
+  Alcotest.(check bool) "negative delay" true
+    (try
+       Engine.schedule eng ~delay_ns:(-1) (fun () -> ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "past schedule_at" true
+    (try
+       Engine.schedule_at eng ~at_ns:5 (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- network timing --- *)
+
+let two_hosts () =
+  let b = Builder.leaf_spine ~spines:1 ~leaves:1 ~hosts_per_leaf:2 () in
+  let eng = Engine.create () in
+  let net = Network.create ~engine:eng ~graph:b.Builder.graph () in
+  (b, eng, net)
+
+let data size = Payload.Data { flow = 0; seq = 0; size; sent_ns = 0 }
+
+let send_one net ~src ~dst ~size =
+  (* Hosts hang off ports 2 and 3 of the single leaf (port 1 faces the
+     spine). *)
+  let tags = [ if dst = 0 then 2 else 3 ] in
+  Network.host_send net src (Frame.along_path ~src ~dst ~tags_of:tags ~payload:(data size))
+
+let test_delivery_and_latency () =
+  let _, eng, net = two_hosts () in
+  let arrived = ref (-1) in
+  Network.set_host_handler net 1 (fun _ -> arrived := Engine.now eng);
+  Network.set_host_nic net 0 Nic.Native;
+  Network.set_host_nic net 1 Nic.Native;
+  send_one net ~src:0 ~dst:1 ~size:1000;
+  Engine.run eng;
+  Alcotest.(check bool) "delivered" true (!arrived > 0);
+  (* tx 15us + wire (~2x(ser+prop)+switch) + rx 15us: must be in the
+     30-40 microsecond band for a 1 KB frame at 10G. *)
+  Alcotest.(check bool) "latency plausible" true (!arrived > 30_000 && !arrived < 40_000);
+  let st = Network.stats net in
+  check Alcotest.int "host_tx" 1 st.Network.host_tx;
+  check Alcotest.int "host_rx" 1 st.Network.host_rx;
+  check Alcotest.int "one switch hop" 1 st.Network.switch_hops
+
+let test_nic_gap_paces () =
+  let _, eng, net = two_hosts () in
+  let times = ref [] in
+  Network.set_host_handler net 1 (fun _ -> times := Engine.now eng :: !times);
+  for _ = 1 to 5 do
+    send_one net ~src:0 ~dst:1 ~size:1450
+  done;
+  Engine.run eng;
+  let times = List.rev !times in
+  check Alcotest.int "all delivered" 5 (List.length times);
+  let gaps =
+    List.map2 (fun a b -> b - a)
+      (List.filteri (fun i _ -> i < 4) times)
+      (List.tl times)
+  in
+  List.iter
+    (fun g ->
+      check Alcotest.int "spacing = NIC min gap" (Nic.min_tx_gap_ns Nic.Dumbnet_agent) g)
+    gaps
+
+let test_queue_drops_under_overload () =
+  let b = Builder.leaf_spine ~spines:1 ~leaves:2 ~hosts_per_leaf:2 () in
+  let eng = Engine.create () in
+  let config = { Network.default_config with queue_bytes = 10_000; bandwidth_gbps = 0.1 } in
+  let net = Network.create ~config ~engine:eng ~graph:b.Builder.graph () in
+  (* Both leaf-0 hosts blast through the single 0.1 Gbps uplink. *)
+  for _ = 1 to 200 do
+    Network.host_send net 0
+      (Frame.along_path ~src:0 ~dst:2 ~tags_of:[ 1; 2; 2 ] ~payload:(data 1450))
+  done;
+  Engine.run eng;
+  let st = Network.stats net in
+  Alcotest.(check bool) "drops happened" true (st.Network.queue_drops > 0);
+  Alcotest.(check bool) "some delivered" true (st.Network.host_rx > 0);
+  check Alcotest.int "conservation" 200 (st.Network.host_rx + st.Network.queue_drops)
+
+let test_fail_link_emits_notices () =
+  let b = Builder.figure1 () in
+  let eng = Engine.create () in
+  let net = Network.create ~engine:eng ~graph:b.Builder.graph () in
+  let notices = ref 0 in
+  List.iter
+    (fun h ->
+      Network.set_host_handler net h (fun f ->
+          match f.Frame.payload with
+          | Payload.Port_notice _ -> incr notices
+          | _ -> ()))
+    (Graph.host_ids b.Builder.graph);
+  Network.fail_link net { sw = 2; port = 1 };
+  Engine.run eng;
+  Alcotest.(check bool) "link down in graph" false
+    (Graph.link_up (Network.graph net) { sw = 2; port = 1 });
+  (* Both end switches broadcast; every host hears at least one copy. *)
+  Alcotest.(check bool) "notices flooded" true (!notices >= Graph.num_hosts b.Builder.graph);
+  check Alcotest.int "monitor fired once" 1
+    (Dumbnet.Switch.Monitor.alarms_emitted (Network.monitor net 2))
+
+let test_restore_link () =
+  let b = Builder.figure1 () in
+  let eng = Engine.create () in
+  let net = Network.create ~engine:eng ~graph:b.Builder.graph () in
+  Network.fail_link net { sw = 2; port = 1 };
+  Engine.run eng;
+  (* Within the suppression window the up-notice is muted, but state
+     recovers. *)
+  Network.restore_link net { sw = 2; port = 1 };
+  Engine.run eng;
+  Alcotest.(check bool) "up again" true (Graph.link_up (Network.graph net) { sw = 2; port = 1 })
+
+let test_send_on_dead_access_link () =
+  let b, eng, net = two_hosts () in
+  ignore b;
+  let delivered = ref 0 in
+  Network.set_host_handler net 1 (fun f ->
+      match f.Frame.payload with
+      | Payload.Data _ -> incr delivered
+      | _ -> ());
+  (match Graph.host_location (Network.graph net) 0 with
+  | Some le -> Network.fail_link net le
+  | None -> Alcotest.fail "host detached");
+  Engine.run eng;
+  send_one net ~src:0 ~dst:1 ~size:100;
+  Engine.run eng;
+  check Alcotest.int "nothing delivered" 0 !delivered
+
+let test_daemon_events_do_not_block_run () =
+  let eng = Engine.create () in
+  let beats = ref 0 in
+  let rec beat () =
+    incr beats;
+    Engine.schedule_daemon eng ~delay_ns:10 beat
+  in
+  Engine.schedule_daemon eng ~delay_ns:10 beat;
+  Engine.schedule eng ~delay_ns:35 (fun () -> ());
+  (* Run-to-idle terminates despite the perpetual daemon, having fired
+     the daemons due before the last regular event. *)
+  Engine.run eng;
+  check Alcotest.int "daemons up to the last regular event" 3 !beats;
+  Alcotest.(check bool) "daemon still pending" true (Engine.pending eng > 0);
+  check Alcotest.int "no regular pending" 0 (Engine.pending_regular eng);
+  (* A bounded run advances daemons further. *)
+  Engine.run ~until_ns:100 eng;
+  Alcotest.(check bool) "daemons kept beating under until" true (!beats >= 9)
+
+let test_priority_lane_bypasses_backlog () =
+  let b = Builder.leaf_spine ~spines:1 ~leaves:2 ~hosts_per_leaf:2 () in
+  let eng = Engine.create () in
+  (* Slow fabric so a data backlog builds on the leaf uplink. *)
+  let config = { Network.default_config with bandwidth_gbps = 0.05; queue_bytes = 10_000_000 } in
+  let net = Network.create ~config ~engine:eng ~graph:b.Builder.graph () in
+  let data_arrivals = ref [] and ctrl_arrival = ref None in
+  Network.set_host_handler net 2 (fun f ->
+      match f.Frame.payload with
+      | Payload.Data _ -> data_arrivals := Engine.now eng :: !data_arrivals
+      | Payload.Path_query _ -> ctrl_arrival := Some (Engine.now eng)
+      | _ -> ());
+  (* 40 bulk frames (~9 ms serialization total at 0.05 Gbps), then one
+     control frame: strict priority delivers it ahead of the backlog. *)
+  for seq = 0 to 39 do
+    Network.host_send net 0
+      (Frame.along_path ~src:0 ~dst:2 ~tags_of:[ 1; 2; 2 ]
+         ~payload:(Payload.Data { flow = 0; seq; size = 1450; sent_ns = 0 }))
+  done;
+  Network.host_send net 0
+    (Frame.along_path ~src:0 ~dst:2 ~tags_of:[ 1; 2; 2 ]
+       ~payload:(Payload.Path_query { requester = 0; target = 2 }));
+  Engine.run eng;
+  match (!ctrl_arrival, List.rev !data_arrivals) with
+  | Some ctrl, _ :: _ ->
+    let last_data = List.hd !data_arrivals in
+    Alcotest.(check bool) "control overtakes the data backlog" true (ctrl < last_data)
+  | _ -> Alcotest.fail "missing arrivals"
+
+let test_port_counters () =
+  let _, eng, net = two_hosts () in
+  Network.set_host_handler net 1 (fun _ -> ());
+  for _ = 1 to 5 do
+    send_one net ~src:0 ~dst:1 ~size:1000
+  done;
+  Engine.run eng;
+  (* Host 1 hangs off leaf (switch 1) port 3. *)
+  let packets, bytes = Network.port_counters net { sw = 1; port = 3 } in
+  check Alcotest.int "packets counted" 5 packets;
+  Alcotest.(check bool) "bytes counted" true (bytes >= 5 * 1000);
+  (match Network.busiest_ports net ~top:1 with
+  | [ (le, b) ] ->
+    Alcotest.(check bool) "hotspot is a real port" true (le.port > 0 && b >= bytes)
+  | _ -> Alcotest.fail "expected one hotspot");
+  Alcotest.(check bool) "unknown port rejected" true
+    (try
+       ignore (Network.port_counters net { sw = 99; port = 1 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_port_bandwidth_cap () =
+  let _, eng, net = two_hosts () in
+  let last = ref 0 in
+  Network.set_host_handler net 1 (fun _ -> last := Engine.now eng);
+  (* Baseline delivery time, then cap the leaf's host-facing egress to
+     0.01 Gbps: serializing 1450 B now costs ~1.16 ms extra. *)
+  send_one net ~src:0 ~dst:1 ~size:1450;
+  Engine.run eng;
+  let baseline = !last in
+  Network.set_port_bandwidth net { sw = 1; port = 3 } ~gbps:0.01;
+  let t_before = Engine.now eng in
+  send_one net ~src:0 ~dst:1 ~size:1450;
+  Engine.run eng;
+  Alcotest.(check bool) "slow link dominates" true (!last - t_before > baseline + 1_000_000)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_order;
+          Alcotest.test_case "fifo at same time" `Quick test_engine_fifo_same_time;
+          Alcotest.test_case "cascading" `Quick test_engine_cascading;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "delivery + latency" `Quick test_delivery_and_latency;
+          Alcotest.test_case "nic pacing" `Quick test_nic_gap_paces;
+          Alcotest.test_case "queue drops" `Quick test_queue_drops_under_overload;
+          Alcotest.test_case "fail_link notices" `Quick test_fail_link_emits_notices;
+          Alcotest.test_case "restore link" `Quick test_restore_link;
+          Alcotest.test_case "dead access link" `Quick test_send_on_dead_access_link;
+          Alcotest.test_case "port bandwidth cap" `Quick test_port_bandwidth_cap;
+          Alcotest.test_case "daemon events" `Quick test_daemon_events_do_not_block_run;
+          Alcotest.test_case "priority lane" `Quick test_priority_lane_bypasses_backlog;
+          Alcotest.test_case "port counters" `Quick test_port_counters;
+        ] );
+    ]

@@ -1,0 +1,229 @@
+(* Unit and property tests for the utility layer: deterministic RNG,
+   binary heap, statistics, table rendering. *)
+
+module Rng = Dumbnet.Util.Rng
+module Heap = Dumbnet.Util.Heap
+module Stats = Dumbnet.Util.Stats
+module Table = Dumbnet.Util.Table
+
+let check = Alcotest.check
+
+(* --- rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_matters () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_pick () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (List.mem (Rng.pick rng [ 1; 2; 3 ]) [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Rng.pick rng []))
+
+let test_rng_permutation () =
+  let rng = Rng.create 13 in
+  let p = Rng.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Rng.exponential rng 10. >= 0.)
+  done
+
+(* --- heap --- *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~compare in
+  List.iter (fun k -> Heap.push h k k) [ 5; 3; 9; 1; 7; 1; 4 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (k, _) ->
+      out := k :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list int) "sorted" [ 1; 1; 3; 4; 5; 7; 9 ] (List.rev !out)
+
+let test_heap_fifo_on_ties () =
+  let h = Heap.create ~compare in
+  Heap.push h 1 "first";
+  Heap.push h 1 "second";
+  Heap.push h 1 "third";
+  let next () =
+    match Heap.pop h with
+    | Some (_, v) -> v
+    | None -> "empty"
+  in
+  check Alcotest.string "fifo 1" "first" (next ());
+  check Alcotest.string "fifo 2" "second" (next ());
+  check Alcotest.string "fifo 3" "third" (next ())
+
+let test_heap_peek_size () =
+  let h = Heap.create ~compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h 2 ();
+  Heap.push h 1 ();
+  check Alcotest.int "size" 2 (Heap.size h);
+  (match Heap.peek h with
+  | Some (k, ()) -> check Alcotest.int "peek min" 1 k
+  | None -> Alcotest.fail "peek on non-empty");
+  check Alcotest.int "peek keeps size" 2 (Heap.size h);
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let heap_sort_prop =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Heap.create ~compare in
+      List.iter (fun k -> Heap.push h k ()) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (k, ()) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort compare keys)
+
+(* --- stats --- *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_mean_stddev () =
+  check feq "mean" 3. (Stats.mean [ 1.; 2.; 3.; 4.; 5. ]);
+  check feq "mean empty" 0. (Stats.mean []);
+  check feq "stddev" (sqrt 2.) (Stats.stddev [ 1.; 2.; 3.; 4.; 5. ]);
+  check feq "stddev singleton" 0. (Stats.stddev [ 42. ])
+
+let test_stats_percentile () =
+  let s = [ 10.; 20.; 30.; 40. ] in
+  check feq "p0" 10. (Stats.percentile 0. s);
+  check feq "p100" 40. (Stats.percentile 100. s);
+  check feq "median interpolates" 25. (Stats.median s);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile 50. []))
+
+let test_stats_cdf () =
+  let c = Stats.cdf [ 1.; 2.; 2.; 4. ] in
+  check feq "at 0" 0. (Stats.cdf_at c 0.);
+  check feq "at 1" 0.25 (Stats.cdf_at c 1.);
+  check feq "at 2" 0.75 (Stats.cdf_at c 2.);
+  check feq "at 100" 1. (Stats.cdf_at c 100.)
+
+let test_stats_histogram () =
+  let bins = Stats.histogram ~bins:2 [ 0.; 1.; 2.; 3. ] in
+  check Alcotest.int "two bins" 2 (List.length bins);
+  let total = List.fold_left (fun acc (_, _, n) -> acc + n) 0 bins in
+  check Alcotest.int "all samples" 4 total
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.; 2.; 3. ] in
+  check Alcotest.int "count" 3 s.Stats.count;
+  check feq "min" 1. s.Stats.min;
+  check feq "max" 3. s.Stats.max;
+  check feq "p50" 2. s.Stats.p50
+
+let percentile_bounds_prop =
+  QCheck.Test.make ~name:"percentile stays within min/max" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 30) (float_bound_exclusive 1000.)) (float_bound_inclusive 100.))
+    (fun (samples, p) ->
+      let lo, hi = Stats.min_max samples in
+      let v = Stats.percentile p samples in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+(* --- table --- *)
+
+let test_table_render () =
+  let t = Table.create [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true (String.length s > 0);
+  Alcotest.(check bool) "pads short rows" true
+    (List.length (String.split_on_char '\n' s) >= 4)
+
+let test_table_too_wide () =
+  let t = Table.create [ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: more cells than headers") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed matters" `Quick test_rng_seed_matters;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "permutation" `Quick test_rng_permutation;
+          Alcotest.test_case "exponential positive" `Quick test_rng_exponential_positive;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_on_ties;
+          Alcotest.test_case "peek/size/clear" `Quick test_heap_peek_size;
+          QCheck_alcotest.to_alcotest heap_sort_prop;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "cdf" `Quick test_stats_cdf;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          QCheck_alcotest.to_alcotest percentile_bounds_prop;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "too wide" `Quick test_table_too_wide;
+        ] );
+    ]

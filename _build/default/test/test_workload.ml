@@ -1,0 +1,214 @@
+(* Tests for workload generation and the flow runner. *)
+
+open Dumbnet.Topology
+module Flow = Dumbnet.Workload.Flow
+module Runner = Dumbnet.Workload.Runner
+module Hibench = Dumbnet.Workload.Hibench
+module Rng = Dumbnet.Util.Rng
+module Fabric = Dumbnet.Fabric
+
+let check = Alcotest.check
+
+(* --- flow generators --- *)
+
+let test_flow_make_validates () =
+  Alcotest.(check bool) "src=dst rejected" true
+    (try
+       ignore (Flow.make ~id:0 ~src:1 ~dst:1 ~bytes:10 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero bytes rejected" true
+    (try
+       ignore (Flow.make ~id:0 ~src:1 ~dst:2 ~bytes:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_permutation_is_derangement () =
+  let rng = Rng.create 5 in
+  let hosts = List.init 10 Fun.id in
+  for _ = 1 to 20 do
+    let flows = Flow.permutation ~rng ~hosts ~bytes:100 () in
+    check Alcotest.int "one flow per host" 10 (List.length flows);
+    List.iter
+      (fun f -> Alcotest.(check bool) "no self flow" true (f.Flow.src <> f.Flow.dst))
+      flows;
+    (* Each host appears exactly once as destination. *)
+    let dsts = List.map (fun f -> f.Flow.dst) flows in
+    check Alcotest.int "all dsts distinct" 10 (List.length (List.sort_uniq compare dsts))
+  done
+
+let test_all_to_all () =
+  let flows = Flow.all_to_all ~hosts:[ 1; 2; 3 ] ~bytes:50 () in
+  check Alcotest.int "n(n-1) flows" 6 (List.length flows);
+  check Alcotest.int "total bytes" 300 (Flow.total_bytes flows);
+  (* Flow ids are unique. *)
+  check Alcotest.int "unique ids" 6
+    (List.length (List.sort_uniq compare (List.map (fun f -> f.Flow.id) flows)))
+
+let test_many_to_one () =
+  let flows = Flow.many_to_one ~sources:[ 1; 2; 3; 4 ] ~target:3 ~bytes:10 () in
+  check Alcotest.int "target excluded" 3 (List.length flows);
+  List.iter (fun f -> check Alcotest.int "all aim at target" 3 f.Flow.dst) flows
+
+let test_cross_groups () =
+  let flows = Flow.cross_groups ~from_group:[ 1; 2 ] ~to_group:[ 3; 4 ] ~bytes:10 () in
+  check Alcotest.int "full bipartite" 4 (List.length flows)
+
+(* --- hibench --- *)
+
+let test_hibench_shapes () =
+  let hosts = List.init 8 Fun.id in
+  let jobs = Hibench.suite ~rng:(Rng.create 7) ~hosts ~scale_bytes:(1024 * 1024) in
+  check Alcotest.int "five tasks" 5 (List.length jobs);
+  check Alcotest.(list string) "paper order"
+    [ "Aggregation"; "Join"; "Pagerank"; "Terasort"; "Wordcount" ]
+    (List.map (fun j -> j.Hibench.job_name) jobs);
+  List.iter
+    (fun job ->
+      Alcotest.(check bool) (job.Hibench.job_name ^ " has stages") true
+        (job.Hibench.stages <> []);
+      Alcotest.(check bool) (job.Hibench.job_name ^ " moves data") true
+        (Hibench.total_bytes job > 0);
+      List.iter
+        (fun stage ->
+          List.iter
+            (fun f ->
+              Alcotest.(check bool) "hosts in range" true
+                (List.mem f.Flow.src hosts && List.mem f.Flow.dst hosts);
+              Alcotest.(check bool) "bytes positive" true (f.Flow.bytes > 0))
+            stage.Hibench.flows;
+          (* Unique flow ids within a stage (the runner requires it). *)
+          let ids = List.map (fun f -> f.Flow.id) stage.Hibench.flows in
+          check Alcotest.int "unique flow ids" (List.length ids)
+            (List.length (List.sort_uniq compare ids)))
+        job.Hibench.stages)
+    jobs;
+  (* Terasort moves the most data of the suite. *)
+  let bytes name = Hibench.total_bytes (List.find (fun j -> j.Hibench.job_name = name) jobs) in
+  Alcotest.(check bool) "terasort heaviest" true
+    (bytes "Terasort" > bytes "Wordcount")
+
+let test_hibench_deterministic () =
+  let hosts = List.init 6 Fun.id in
+  let a = Hibench.terasort ~rng:(Rng.create 9) ~hosts ~scale_bytes:100_000 in
+  let b = Hibench.terasort ~rng:(Rng.create 9) ~hosts ~scale_bytes:100_000 in
+  Alcotest.(check bool) "same seed, same job" true (a = b)
+
+(* --- chaos --- *)
+
+module Chaos = Dumbnet.Workload.Chaos
+module Network = Dumbnet.Sim.Network
+
+let test_chaos_schedule_deterministic () =
+  let b = Builder.testbed () in
+  let mk seed =
+    Chaos.schedule ~rng:(Rng.create seed) b.Builder.graph ~duration_ns:1_000_000_000
+      ~mtbf_ns:50_000_000 ~mttr_ns:100_000_000
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (mk 3 = mk 3);
+  Alcotest.(check bool) "sorted by time" true
+    (let s = mk 3 in
+     List.sort (fun (a : Chaos.event) b -> compare a.Chaos.at_ns b.Chaos.at_ns) s = s);
+  Alcotest.(check bool) "non-empty at this rate" true (mk 3 <> [])
+
+let test_chaos_never_disconnects () =
+  let built = Builder.leaf_spine ~spines:2 ~leaves:3 ~hosts_per_leaf:1 () in
+  let fab = Fabric.create ~seed:15 built in
+  let events =
+    Chaos.schedule ~rng:(Rng.create 15)
+      (Network.graph (Fabric.network fab))
+      ~duration_ns:500_000_000 ~mtbf_ns:20_000_000 ~mttr_ns:60_000_000
+  in
+  let outcome = Chaos.inject ~network:(Fabric.network fab) events in
+  (* Check connectivity at every 50 ms step while the churn plays. *)
+  for _ = 1 to 10 do
+    Fabric.run ~for_ns:50_000_000 fab;
+    Alcotest.(check bool) "switch graph stays connected" true
+      (Graph.connected (Network.graph (Fabric.network fab)))
+  done;
+  Fabric.run fab;
+  Alcotest.(check bool) "some failures injected" true (outcome.Chaos.injected_failures > 0)
+
+(* --- runner --- *)
+
+let test_runner_completes_flows () =
+  let built = Builder.leaf_spine ~spines:2 ~leaves:2 ~hosts_per_leaf:2 () in
+  let fab = Fabric.create ~seed:11 built in
+  let t0 = Fabric.now_ns fab in
+  let flows =
+    [
+      Flow.make ~id:0 ~src:0 ~dst:2 ~bytes:100_000 ~start_ns:t0 ();
+      Flow.make ~id:1 ~src:1 ~dst:3 ~bytes:50_000 ~start_ns:t0 ();
+    ]
+  in
+  let r = Runner.run ~engine:(Fabric.engine fab) ~agent_of:(Fabric.agent fab) ~flows () in
+  check Alcotest.int "both complete" 2 (List.length r.Runner.completions);
+  check Alcotest.(list int) "none incomplete" [] r.Runner.incomplete;
+  Alcotest.(check bool) "all bytes arrive" true
+    (r.Runner.delivered_bytes >= 150_000);
+  Alcotest.(check bool) "makespan positive" true (Runner.makespan_ns flows r > 0)
+
+let test_runner_deadline () =
+  let built = Builder.leaf_spine ~spines:1 ~leaves:1 ~hosts_per_leaf:2 () in
+  let fab = Fabric.create ~seed:13 built in
+  let t0 = Fabric.now_ns fab in
+  (* An enormous flow cannot finish in 5 ms. *)
+  let flows = [ Flow.make ~id:0 ~src:0 ~dst:1 ~bytes:(1024 * 1024 * 1024) ~start_ns:t0 () ] in
+  let r =
+    Runner.run ~deadline_ns:(t0 + 5_000_000) ~engine:(Fabric.engine fab)
+      ~agent_of:(Fabric.agent fab) ~flows ()
+  in
+  check Alcotest.(list int) "incomplete" [ 0 ] r.Runner.incomplete;
+  check Alcotest.int "finished at deadline" (t0 + 5_000_000) r.Runner.finished_ns
+
+let test_runner_rejects_duplicate_ids () =
+  let built = Builder.leaf_spine ~spines:1 ~leaves:1 ~hosts_per_leaf:2 () in
+  let fab = Fabric.create ~seed:13 built in
+  let flows =
+    [ Flow.make ~id:0 ~src:0 ~dst:1 ~bytes:10 (); Flow.make ~id:0 ~src:1 ~dst:0 ~bytes:10 () ]
+  in
+  Alcotest.(check bool) "duplicate ids rejected" true
+    (try
+       ignore (Runner.run ~engine:(Fabric.engine fab) ~agent_of:(Fabric.agent fab) ~flows ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_throughput_series () =
+  let arrivals = [ (0, 1000); (5, 1000); (15, 2000) ] in
+  let series = Runner.throughput_series ~bin_ns:10 ~from_ns:0 ~to_ns:19 arrivals in
+  check Alcotest.int "two bins" 2 (List.length series);
+  match series with
+  | [ (0, r0); (10, r1) ] ->
+    (* bin 0: 2000 B over 10 ns = 1600 Gbps equivalent; ratios matter. *)
+    Alcotest.(check bool) "bin0 = 2x bin1" true (abs_float (r0 -. r1) < 1e-9)
+  | _ -> Alcotest.fail "unexpected bins"
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "validation" `Quick test_flow_make_validates;
+          Alcotest.test_case "permutation derangement" `Quick test_permutation_is_derangement;
+          Alcotest.test_case "all to all" `Quick test_all_to_all;
+          Alcotest.test_case "many to one" `Quick test_many_to_one;
+          Alcotest.test_case "cross groups" `Quick test_cross_groups;
+        ] );
+      ( "hibench",
+        [
+          Alcotest.test_case "job shapes" `Quick test_hibench_shapes;
+          Alcotest.test_case "deterministic" `Quick test_hibench_deterministic;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "deterministic schedule" `Quick test_chaos_schedule_deterministic;
+          Alcotest.test_case "never disconnects" `Quick test_chaos_never_disconnects;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "completes flows" `Quick test_runner_completes_flows;
+          Alcotest.test_case "deadline" `Quick test_runner_deadline;
+          Alcotest.test_case "duplicate ids" `Quick test_runner_rejects_duplicate_ids;
+          Alcotest.test_case "throughput series" `Quick test_throughput_series;
+        ] );
+    ]
