@@ -1,0 +1,24 @@
+.PHONY: all build test check fmt bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# What CI runs: a clean build with no warnings-as-errors surprises,
+# then the full test tree.
+check: build test
+
+# Formatting is advisory: ocamlformat is not pinned in the dev image,
+# so this target is best-effort and never fails the build.
+fmt:
+	-dune build @fmt --auto-promote
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

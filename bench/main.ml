@@ -18,6 +18,7 @@ let experiments =
     ("fig12", "path graph size vs epsilon", E.Fig12.run);
     ("fig13", "HiBench task durations by network mode", E.Fig13.run);
     ("ablations", "design-choice ablations (cache, two-stage, TE, prior)", E.Ablations.run);
+    ("telemetry", "in-band telemetry: accuracy, gray failures, TE", E.Telemetry_exp.run);
   ]
 
 let run_one name =

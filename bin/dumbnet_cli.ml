@@ -194,6 +194,89 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Drive random traffic over a fabric, optionally with a failure.")
     Term.(const simulate_run $ topo_arg $ seed_arg $ duration_arg $ fail_arg $ verbose_arg)
 
+(* --- telemetry subcommand --- *)
+
+let telemetry_run spec seed duration_ms verbose =
+  apply_verbosity verbose;
+  with_topology spec seed (fun built ->
+      let fab = Fabric.create ~seed built in
+      let eng = Fabric.engine fab in
+      let ctrl = built.Builder.controller in
+      let hosts = built.Builder.hosts in
+      let observer =
+        match List.filter (fun h -> h <> ctrl) hosts with
+        | h :: _ -> h
+        | [] -> ctrl
+      in
+      let agent = Fabric.agent fab observer in
+      (* Warm the path caches so the prober has loops to walk. *)
+      List.iter
+        (fun dst -> if dst <> observer then ignore (Agent.query_path agent ~dst))
+        hosts;
+      Fabric.run fab;
+      let ep =
+        Dumbnet.Telemetry.Endpoint.attach ~probe_interval_ns:50_000 ~engine:eng ~agent ()
+      in
+      Fabric.run ~for_ns:(duration_ms * 1_000_000) fab;
+      let collector = Dumbnet.Telemetry.Endpoint.collector ep in
+      let prober = Dumbnet.Telemetry.Endpoint.prober ep in
+      (* Stop probing, then drain the last round trips (~1 ms of host
+         stack each way) so un-returned means lost, not cut off. *)
+      Dumbnet.Telemetry.Prober.stop prober;
+      Fabric.run fab;
+      let net_stats = Dumbnet.Sim.Network.stats (Fabric.network fab) in
+      Printf.printf
+        "observer H%d: %d loop probes sent, %d returned, %d lost\n\
+         fabric: %d stamps appended, %d queue drops, %d dataplane drops\n\
+         per-link estimates (egress = switch:port):\n"
+        observer
+        (Dumbnet.Telemetry.Prober.sent prober)
+        (Dumbnet.Telemetry.Prober.returned prober)
+        (Dumbnet.Telemetry.Prober.lost prober)
+        net_stats.Dumbnet.Sim.Network.int_stamped net_stats.Dumbnet.Sim.Network.queue_drops
+        net_stats.Dumbnet.Sim.Network.dataplane_drops;
+      let links =
+        List.sort
+          (fun ((a : Types.link_end), _) (b, _) -> compare (a.sw, a.port) (b.sw, b.port))
+          (Dumbnet.Telemetry.Collector.known_links collector)
+      in
+      List.iter
+        (fun ((le : Types.link_end), (s : Dumbnet.Telemetry.Collector.snapshot)) ->
+          Printf.printf "  S%-3d p%-3d queue %8.0f B  latency %8.2f us  samples %d/%d  losses %d\n"
+            le.sw le.port s.Dumbnet.Telemetry.Collector.queue_bytes
+            (s.Dumbnet.Telemetry.Collector.latency_ns /. 1e3)
+            s.Dumbnet.Telemetry.Collector.queue_samples
+            s.Dumbnet.Telemetry.Collector.latency_samples
+            s.Dumbnet.Telemetry.Collector.losses)
+        links;
+      let hop_latencies_us =
+        List.filter_map
+          (fun (_, (s : Dumbnet.Telemetry.Collector.snapshot)) ->
+            if s.Dumbnet.Telemetry.Collector.latency_samples > 0 then
+              Some (s.Dumbnet.Telemetry.Collector.latency_ns /. 1e3)
+            else None)
+          links
+      in
+      (match hop_latencies_us with
+      | [] -> print_endline "no per-hop latency samples collected"
+      | samples ->
+        Format.printf "per-hop latency across links (us): %a@."
+          Dumbnet.Util.Stats.pp_summary
+          (Dumbnet.Util.Stats.summarize samples));
+      0)
+
+let telemetry_duration_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "d"; "duration" ] ~docv:"MS" ~doc:"Simulated milliseconds of probing.")
+
+let telemetry_cmd =
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+         "Run loop probes from one host and dump its collector's per-link fabric model.")
+    Term.(const telemetry_run $ topo_arg $ seed_arg $ telemetry_duration_arg $ verbose_arg)
+
 (* --- bench subcommand --- *)
 
 let bench_run names =
@@ -211,6 +294,7 @@ let bench_run names =
       ("fig12", Dumbnet_experiments.Fig12.run);
       ("fig13", Dumbnet_experiments.Fig13.run);
       ("ablations", Dumbnet_experiments.Ablations.run);
+      ("telemetry", Dumbnet_experiments.Telemetry_exp.run);
     ]
   in
   match names with
@@ -242,4 +326,6 @@ let () =
     Cmd.info "dumbnet" ~version:"1.0.0"
       ~doc:"A stateless source-routed data center fabric (EuroSys'18 reproduction)."
   in
-  exit (Cmd.eval' (Cmd.group info [ topo_cmd; discover_cmd; simulate_cmd; bench_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ topo_cmd; discover_cmd; simulate_cmd; telemetry_cmd; bench_cmd ]))

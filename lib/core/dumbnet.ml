@@ -11,6 +11,7 @@ module Switch = Dumbnet_switch
 module Sim = Dumbnet_sim
 module Control = Dumbnet_control
 module Host = Dumbnet_host
+module Telemetry = Dumbnet_telemetry
 module Ext = Dumbnet_ext
 module Baseline = Dumbnet_baseline
 module Workload = Dumbnet_workload

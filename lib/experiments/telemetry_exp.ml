@@ -1,0 +1,344 @@
+(** Telemetry evaluation: what in-band stamps buy a DumbNet host.
+
+    Three questions, three runs:
+
+    - {b Accuracy}: under an incast hotspot, does the receiving host's
+      collector track the engine's ground-truth queue at the hot egress
+      (the acceptance bar is 10%)?
+    - {b Gray failure}: a spine egress silently degrades to 50 Mbps —
+      no port alarm, no notice. How long until the prober/health stack
+      flags it, and does the host route around it with zero controller
+      queries?
+    - {b Traffic engineering}: on a fabric with one slow spine, does
+      telemetry-guided flowlet TE (pick the cheapest cached path by
+      collector estimates) beat hash-based flowlet TE on p99 flow
+      completion time? *)
+
+open Dumbnet_topology
+open Dumbnet_sim
+open Dumbnet_host
+open Dumbnet_workload
+module Stats = Dumbnet_util.Stats
+module Tel = Dumbnet_telemetry
+
+let leaf_of g h = (Option.get (Graph.host_location g h)).Types.sw
+
+(* Warm the observer's caches like fig13 does: first-contact controller
+   queries are a bootstrap artefact, not part of what we measure. *)
+let warm_paths fab ~from ~to_ =
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then ignore (Agent.query_path (Dumbnet.Fabric.agent fab src) ~dst))
+        to_)
+    from;
+  Dumbnet.Fabric.run fab
+
+(* --- Part 1: collector accuracy under an incast hotspot --- *)
+
+type accuracy = {
+  gt_mean_bytes : float;
+  est_mean_bytes : float;
+  rel_err : float;
+  acc_samples : int;
+}
+
+let accuracy () =
+  let built = Builder.leaf_spine ~spines:2 ~leaves:3 ~hosts_per_leaf:5 () in
+  let fab = Dumbnet.Fabric.create ~seed:11 built in
+  let net = Dumbnet.Fabric.network fab in
+  let eng = Dumbnet.Fabric.engine fab in
+  let g = Network.graph net in
+  let ctrl = built.Builder.controller in
+  let hosts = built.Builder.hosts in
+  let target = List.nth hosts (List.length hosts - 1) in
+  let target_leaf = leaf_of g target in
+  let senders =
+    List.filter (fun h -> h <> ctrl && leaf_of g h <> target_leaf) hosts
+  in
+  let hot = Option.get (Graph.host_location g target) in
+  (* Senders stamp their data; the incast victim runs the collector. *)
+  List.iter
+    (fun h -> Agent.set_int_enabled (Dumbnet.Fabric.agent fab h) true)
+    senders;
+  let ep =
+    Tel.Endpoint.attach ~probing:false ~watching:false ~engine:eng
+      ~agent:(Dumbnet.Fabric.agent fab target) ()
+  in
+  let collector = Tel.Endpoint.collector ep in
+  warm_paths fab ~from:senders ~to_:[ target ];
+  let t0 = Dumbnet.Fabric.now_ns fab in
+  (* Ground truth vs estimate, sampled together while the hotspot is in
+     steady state. *)
+  let window_lo = t0 + 3_000_000 and window_hi = t0 + 10_000_000 in
+  let gt = ref [] and est = ref [] in
+  let rec sample () =
+    let now = Engine.now eng in
+    if now >= window_lo && now <= window_hi then begin
+      match Tel.Collector.queue_estimate collector hot with
+      | Some e ->
+        gt := float_of_int (Network.queue_backlog_bytes net hot) :: !gt;
+        est := e :: !est
+      | None -> ()
+    end;
+    if now < window_hi then Engine.schedule_daemon eng ~delay_ns:25_000 sample
+  in
+  Engine.schedule_daemon eng ~delay_ns:25_000 sample;
+  let flows =
+    Flow.many_to_one ~sources:senders ~target ~bytes:(2 * 1024 * 1024) ~start_ns:t0 ()
+  in
+  ignore
+    (Runner.run ~engine:eng
+       ~agent_of:(Dumbnet.Fabric.agent fab)
+       ~deadline_ns:(t0 + 12_000_000) ~flows ());
+  let gt_mean_bytes = Stats.mean !gt and est_mean_bytes = Stats.mean !est in
+  {
+    gt_mean_bytes;
+    est_mean_bytes;
+    rel_err = abs_float (est_mean_bytes -. gt_mean_bytes) /. gt_mean_bytes;
+    acc_samples = List.length !gt;
+  }
+
+(* --- Part 2: gray-failure detection and eviction --- *)
+
+type gray = {
+  detection_ms : float option;
+  queries_during : int;
+  rerouted : bool;
+}
+
+let slow_gbps = 0.05
+
+let gray_failure () =
+  let built = Builder.leaf_spine ~spines:2 ~leaves:2 ~hosts_per_leaf:2 () in
+  let fab = Dumbnet.Fabric.create ~seed:5 built in
+  let net = Dumbnet.Fabric.network fab in
+  let eng = Dumbnet.Fabric.engine fab in
+  let g = Network.graph net in
+  let ctrl = built.Builder.controller in
+  let hosts = built.Builder.hosts in
+  let observer = List.find (fun h -> h <> ctrl) hosts in
+  let observer_leaf = leaf_of g observer in
+  let victim = List.find (fun h -> leaf_of g h <> observer_leaf) hosts in
+  let agent = Dumbnet.Fabric.agent fab observer in
+  warm_paths fab ~from:[ observer ] ~to_:(List.filter (fun h -> h <> observer) hosts) ;
+  (* A 50 Mbps hop announces itself in every probe's stamp clock at tens
+     of µs; healthy hops cost ~1 µs — 10 µs splits them cleanly. *)
+  let health = Tel.Health.create ~latency_threshold_ns:10_000. () in
+  let ep =
+    Tel.Endpoint.attach ~health ~probe_interval_ns:50_000 ~health_interval_ns:50_000
+      ~engine:eng ~agent ()
+  in
+  (* Let the prober baseline the healthy fabric first. *)
+  Dumbnet.Fabric.run ~for_ns:2_000_000 fab;
+  (* Silently degrade the spine egress the observer's primary path to
+     the victim uses: no alarm fires, bits just crawl. *)
+  let slow =
+    match Pathtable.paths_to (Agent.pathtable agent) ~dst:victim with
+    | { Path.hops = _ :: ((spine_hop : Types.switch_id * Types.port) :: _); _ } :: _ ->
+      let sw, port = spine_hop in
+      { Types.sw; port }
+    | _ -> failwith "telemetry_exp: no cached spine path to the victim"
+  in
+  Network.set_port_bandwidth net slow ~gbps:slow_gbps;
+  let t_slow = Dumbnet.Fabric.now_ns fab in
+  let q0 = (Agent.stats agent).Agent.queries_sent in
+  Dumbnet.Fabric.run ~for_ns:30_000_000 fab;
+  let detection_ms =
+    List.find_map
+      (fun (le, ns) ->
+        if le = slow then Some (float_of_int (ns - t_slow) /. 1e6) else None)
+      (Tel.Health.detections health)
+  in
+  let rerouted =
+    match Agent.send_data agent ~dst:victim ~flow:99 ~size:1450 () with
+    | Agent.Sent p -> not (List.exists (fun (sw, port) -> { Types.sw; port } = slow) p.Path.hops)
+    | Agent.Queued | Agent.No_route -> false
+  in
+  (* A live prober feeds the engine regular events forever; stop it
+     before running to quiescence. *)
+  Tel.Prober.stop (Tel.Endpoint.prober ep);
+  Dumbnet.Fabric.run fab;
+  {
+    detection_ms;
+    queries_during = (Agent.stats agent).Agent.queries_sent - q0;
+    rerouted;
+  }
+
+(* --- Part 3: telemetry-guided vs hash flowlet TE --- *)
+
+type te_result = {
+  p50_ms : float;
+  p99_ms : float;
+  completed : int;
+  total : int;
+}
+
+let te_pacing =
+  {
+    Runner.default_pacing with
+    Runner.packet_gap_ns = 8_000;
+    burst_bytes = 64 * 1024;
+    pause_ns = 1_000_000;
+  }
+
+let te_flow_bytes = 512 * 1024
+
+let te_run telemetry =
+  let built = Builder.leaf_spine ~spines:4 ~leaves:4 ~hosts_per_leaf:4 () in
+  (* Big queues so congestion shows up as latency, not unrecoverable
+     loss (the runner has no retransmission), like the fig13 setup. *)
+  let config = { Network.default_config with Network.queue_bytes = 64 * 1024 * 1024 } in
+  let fab = Dumbnet.Fabric.create ~config ~seed:29 built in
+  let net = Dumbnet.Fabric.network fab in
+  let eng = Dumbnet.Fabric.engine fab in
+  let g = Network.graph net in
+  let ctrl = built.Builder.controller in
+  let hosts = built.Builder.hosts in
+  let leaves = List.sort_uniq compare (List.map (leaf_of g) hosts) in
+  let in_leaves ls h = List.mem (leaf_of g h) ls in
+  let senders =
+    match leaves with
+    | a :: b :: _ -> List.filter (fun h -> h <> ctrl && in_leaves [ a; b ] h) hosts
+    | _ -> assert false
+  in
+  let receivers =
+    match List.rev leaves with
+    | a :: b :: _ -> List.filter (fun h -> in_leaves [ a; b ] h) hosts
+    | _ -> assert false
+  in
+  (* One spine runs slow — degraded, not down, so only measurement can
+     steer traffic off it. *)
+  let spines = List.filter (fun sw -> Graph.hosts_on_switch g sw = []) (Graph.switch_ids g) in
+  let slow_spine = List.hd spines in
+  List.iter
+    (fun (port, _) -> Network.set_port_bandwidth net { Types.sw = slow_spine; port } ~gbps:1.0)
+    (Graph.neighbors g slow_spine);
+  (* Warm before attaching: warm_paths runs the engine to quiescence,
+     which never terminates once probers are feeding it events. *)
+  warm_paths fab ~from:senders ~to_:receivers;
+  if telemetry then
+    List.iter
+      (fun h ->
+        let agent = Dumbnet.Fabric.agent fab h in
+        let ep =
+          (* Generous probe timeout: packets queue for milliseconds
+             behind the slow spine, and a late probe is not a loss. *)
+          Tel.Endpoint.attach ~probing:true ~watching:false ~probe_interval_ns:50_000
+            ~probe_timeout_ns:50_000_000 ~engine:eng ~agent ()
+        in
+        let te = Dumbnet_ext.Flowlet.create ~collector:(Tel.Endpoint.collector ep) () in
+        Dumbnet_ext.Flowlet.enable te agent)
+      senders
+  else begin
+    let te = Dumbnet_ext.Flowlet.create () in
+    List.iter (fun h -> Dumbnet_ext.Flowlet.enable te (Dumbnet.Fabric.agent fab h)) senders
+  end;
+  (* Probe sweeps price every spine before the first flow starts. *)
+  Dumbnet.Fabric.run ~for_ns:2_000_000 fab;
+  let t0 = Dumbnet.Fabric.now_ns fab in
+  let flows =
+    Flow.cross_groups ~from_group:senders ~to_group:receivers ~bytes:te_flow_bytes ()
+    |> List.mapi (fun i f -> { f with Flow.start_ns = t0 + (i * 250_000) })
+  in
+  (* Runner always simulates to the deadline (probe daemons included),
+     so keep it tight: ~10x the expected makespan. *)
+  let deadline_ns = t0 + 150_000_000 in
+  let result =
+    Runner.run ~pacing:te_pacing ~engine:eng
+      ~agent_of:(Dumbnet.Fabric.agent fab)
+      ~deadline_ns ~flows ()
+  in
+  let start_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun f -> Hashtbl.replace tbl f.Flow.id f.Flow.start_ns) flows;
+    Hashtbl.find tbl
+  in
+  (* Deadline-clamped FCTs: a flow that never finished is charged the
+     whole window, so losses cannot flatter a configuration. *)
+  let fcts =
+    List.map
+      (fun (id, done_ns) -> float_of_int (done_ns - start_of id) /. 1e6)
+      result.Runner.completions
+    @ List.map
+        (fun id -> float_of_int (deadline_ns - start_of id) /. 1e6)
+        result.Runner.incomplete
+  in
+  let s = Stats.summarize fcts in
+  {
+    p50_ms = s.Stats.p50;
+    p99_ms = s.Stats.p99;
+    completed = List.length result.Runner.completions;
+    total = List.length flows;
+  }
+
+let run () =
+  Report.section ~id:"Telemetry"
+    ~title:"In-band telemetry: collector accuracy, gray failures, telemetry-guided TE";
+  let acc = accuracy () in
+  Report.note
+    "Incast hotspot (9 senders, 1 victim): victim-side collector vs engine ground truth \
+     at the hot access egress.";
+  Report.table
+    ~headers:[ "metric"; "ground truth"; "collector"; "rel. error"; "samples" ]
+    [
+      [
+        "mean hot-egress queue";
+        Printf.sprintf "%.0f B" acc.gt_mean_bytes;
+        Printf.sprintf "%.0f B" acc.est_mean_bytes;
+        Report.pct (100. *. acc.rel_err);
+        string_of_int acc.acc_samples;
+      ];
+    ];
+  Report.note
+    (if acc.rel_err <= 0.10 then "PASS: collector tracks ground truth within 10%."
+     else "FAIL: collector is off by more than 10%.");
+  let gray = gray_failure () in
+  Report.note
+    (Printf.sprintf
+       "Gray failure: one spine egress silently degraded to %.0f Mbps (no port alarm)."
+       (slow_gbps *. 1000.));
+  Report.table
+    ~headers:[ "detection latency"; "controller queries"; "rerouted around" ]
+    [
+      [
+        (match gray.detection_ms with
+        | Some ms -> Report.ms ms
+        | None -> "not detected");
+        string_of_int gray.queries_during;
+        string_of_bool gray.rerouted;
+      ];
+    ];
+  Report.note
+    (match gray.detection_ms with
+    | Some _ when gray.queries_during = 0 && gray.rerouted ->
+      "PASS: detected and evicted from the path caches without any controller re-probe."
+    | Some _ -> "PARTIAL: detected, but eviction or query count not as expected."
+    | None -> "FAIL: gray failure never detected.");
+  let base = te_run false in
+  let tel = te_run true in
+  Report.note
+    "Flowlet TE on a 4-spine fabric with one spine degraded to 1 Gbps; 56 cross-leaf \
+     flows, FCTs deadline-clamped.";
+  Report.table
+    ~headers:[ "mode"; "p50 FCT"; "p99 FCT"; "completed" ]
+    [
+      [
+        "hash flowlet";
+        Report.ms base.p50_ms;
+        Report.ms base.p99_ms;
+        Printf.sprintf "%d/%d" base.completed base.total;
+      ];
+      [
+        "telemetry flowlet";
+        Report.ms tel.p50_ms;
+        Report.ms tel.p99_ms;
+        Printf.sprintf "%d/%d" tel.completed tel.total;
+      ];
+    ];
+  Report.note
+    (if tel.p99_ms < base.p99_ms then
+       Printf.sprintf "PASS: telemetry-guided TE cuts p99 FCT by %.1f%%."
+         (100. *. (base.p99_ms -. tel.p99_ms) /. base.p99_ms)
+     else "FAIL: telemetry-guided TE did not beat hash flowlets at p99.")

@@ -1,41 +1,71 @@
+open Dumbnet_topology
 open Dumbnet_host
+open Dumbnet_telemetry
 
 type flow_state = {
   mutable last_ns : int;
   mutable flowlet : int;
+  mutable path : Path.t option;  (** telemetry mode: the flowlet's pick *)
 }
 
 type t = {
   gap_ns : int;
+  collector : Collector.t option;
   flows : (int, flow_state) Hashtbl.t;
   mutable started : int;
 }
 
 let default_gap_ns = 500_000
 
-let create ?(gap_ns = default_gap_ns) () =
+let create ?(gap_ns = default_gap_ns) ?collector () =
   if gap_ns <= 0 then invalid_arg "Flowlet.create: gap must be positive";
-  { gap_ns; flows = Hashtbl.create 64; started = 0 }
+  { gap_ns; collector; flows = Hashtbl.create 64; started = 0 }
 
 (* Bump the flowlet id when the inter-packet gap exceeds the threshold;
-   the (flow, flowlet) pair then hashes to a path choice. *)
-let flowlet_id t ~now_ns ~flow =
+   returns the flow's state plus whether this packet opens a flowlet. *)
+let flowlet_state t ~now_ns ~flow =
   match Hashtbl.find_opt t.flows flow with
   | None ->
-    Hashtbl.replace t.flows flow { last_ns = now_ns; flowlet = 0 };
+    let st = { last_ns = now_ns; flowlet = 0; path = None } in
+    Hashtbl.replace t.flows flow st;
     t.started <- t.started + 1;
-    0
+    (st, true)
   | Some st ->
-    if now_ns - st.last_ns > t.gap_ns then begin
+    let fresh = now_ns - st.last_ns > t.gap_ns in
+    if fresh then begin
       st.flowlet <- st.flowlet + 1;
       t.started <- t.started + 1
     end;
     st.last_ns <- now_ns;
-    st.flowlet
+    (st, fresh)
+
+let cheapest collector = function
+  | [] -> None
+  | first :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (best, best_cost) p ->
+          let cost = Collector.path_cost_ns collector p in
+          if cost < best_cost then (p, cost) else (best, best_cost))
+        (first, Collector.path_cost_ns collector first)
+        rest
+    in
+    Some best
 
 let routing_fn t agent ~now_ns ~dst ~flow =
-  let id = flowlet_id t ~now_ns ~flow in
-  Pathtable.choose_nth (Agent.pathtable agent) ~dst ~n:(Hashtbl.hash (flow, dst, id))
+  let st, fresh = flowlet_state t ~now_ns ~flow in
+  match t.collector with
+  | None -> Pathtable.choose_nth (Agent.pathtable agent) ~dst ~n:(Hashtbl.hash (flow, dst, st.flowlet))
+  | Some collector -> (
+    let paths = Pathtable.paths_to (Agent.pathtable agent) ~dst in
+    (* Keep the flowlet's pick while it lives and stays cached (no
+       intra-burst reordering); re-price at every flowlet boundary. *)
+    match st.path with
+    | Some p when (not fresh) && List.exists (Path.equal p) paths -> Some p
+    | _ ->
+      let best = cheapest collector paths in
+      st.path <- best;
+      best)
 
 let enable t agent = Agent.set_routing_fn agent (Some (routing_fn t))
 

@@ -6,16 +6,26 @@
     deterministically picks one of the k cached paths. Bursts hash to
     fresh paths, spreading load without intra-burst reordering. All
     state is per-host, which is why the paper calls this "simple and
-    efficient" compared to switch-based TE. *)
+    efficient" compared to switch-based TE.
+
+    With a telemetry {!Dumbnet_telemetry.Collector} attached, hashing
+    is replaced by measurement: each flowlet boundary re-prices the
+    cached paths by {!Dumbnet_telemetry.Collector.path_cost_ns} and
+    binds the burst to the currently cheapest one — congestion-aware
+    TE still with zero switch state. *)
 
 open Dumbnet_host
+open Dumbnet_telemetry
 
 type t
 
 val default_gap_ns : int
 (** 500 µs — comfortably above path-latency skew in the fabric. *)
 
-val create : ?gap_ns:int -> unit -> t
+val create : ?gap_ns:int -> ?collector:Collector.t -> unit -> t
+(** Without [collector], flowlets hash over the k cached paths (the
+    paper's §6.2 design). With it, each flowlet picks the
+    least-congested cached path by the collector's estimates. *)
 
 val routing_fn : t -> Agent.routing_fn
 (** Install with {!Dumbnet_host.Agent.set_routing_fn}. *)

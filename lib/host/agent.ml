@@ -55,9 +55,12 @@ type t = {
   mutable echo_hook : (flow:int -> marks:int -> latest_sent_ns:int -> unit) option;
   mutable hello_hook : (controller:host_id -> unit) option;
   mutable transport_hook : (src:host_id -> Payload.t -> unit) option;
+  mutable stamp_hook : (src:host_id option -> stamps:Int_stamp.t list -> unit) option;
+  mutable int_probe_hook : (seq:int -> sent_ns:int -> stamps:Int_stamp.t list -> unit) option;
   mutable local_paths : (host_id -> Pathgraph.t option) option;
   mutable last_patch_version : int;
   mutable stage1_enabled : bool;
+  mutable int_enabled : bool;
 }
 
 and routing_fn = t -> now_ns:int -> dst:host_id -> flow:int -> Path.t option
@@ -100,6 +103,14 @@ let set_hello_hook t f = t.hello_hook <- Some f
 
 let set_transport_hook t f = t.transport_hook <- Some f
 
+let set_stamp_hook t f = t.stamp_hook <- Some f
+
+let set_int_probe_hook t f = t.int_probe_hook <- Some f
+
+let set_int_enabled t enabled = t.int_enabled <- enabled
+
+let int_enabled t = t.int_enabled
+
 let set_local_path_service t f = t.local_paths <- Some f
 
 let set_stage1_enabled t enabled = t.stage1_enabled <- enabled
@@ -138,6 +149,7 @@ let transmit_along t path payload =
   let frame =
     Frame.along_path ~src:t.self ~dst:path.Path.dst ~tags_of:(Path.tags path) ~payload
   in
+  let frame = if t.int_enabled then Frame.with_int frame else frame in
   send_raw t frame
 
 let query_path t ~dst =
@@ -262,6 +274,31 @@ let install_custom_path t ~dst path =
     | Error e -> Error e)
 
 (* --- failure handling, stage 1 (host side) --- *)
+
+(* Telemetry-driven demotion: treat a gray-failure link exactly like a
+   stage-1 down notification — overlay the end as failed and drop every
+   cached path through it — but without any switch alarm or controller
+   round. The health monitor calls this when estimates cross thresholds. *)
+let demote_link t le =
+  Topocache.note_end t.cache le ~up:false;
+  let dropped = Pathtable.invalidate_end t.table le in
+  let dropped_other =
+    match Topocache.resolve_end t.cache le with
+    | Some other -> Pathtable.invalidate_end t.table other
+    | None -> 0
+  in
+  if dropped + dropped_other > 0 then
+    Log.debug (fun m ->
+        m "H%d: telemetry demoted S%d-%d, %d destinations rerouted" t.self le.sw le.port
+          (dropped + dropped_other));
+  dropped + dropped_other
+
+let promote_link t le =
+  Topocache.note_end t.cache le ~up:true;
+  List.iter
+    (fun dst ->
+      if Pathtable.restore_requires_requery t.table ~dst then refresh_table t ~dst)
+    (Topocache.known t.cache)
 
 let handle_link_event t (event : Payload.link_event) ~reflood =
   if Event_dedup.fresh t.dedup event then begin
@@ -413,6 +450,13 @@ let handle_clean_payload t frame =
     match t.transport_hook with
     | Some f -> f ~src:(Option.value ~default:(-1) (src_host frame)) p
     | None -> ())
+  | Payload.Int_probe { origin; seq; sent_ns } ->
+    (* A loop probe comes home carrying its stamp chain; a foreign one
+       (misrouted or a future one-way probe) is just dropped. *)
+    if origin = t.self then (
+      match t.int_probe_hook with
+      | Some f -> f ~seq ~sent_ns ~stamps:frame.Frame.int_stamps
+      | None -> ())
 
 (* A probe with leftover tags: reply along them (§4.1). *)
 let probe_service t frame leftover =
@@ -435,6 +479,12 @@ let probe_service t frame leftover =
   | _ -> t.stats.bad_frames <- t.stats.bad_frames + 1
 
 let receive t (frame : Frame.t) =
+  (* Any stamped frame feeds the collector, whatever its payload: data,
+     probes and even control traffic all report on the path they took. *)
+  (match t.stamp_hook with
+  | Some f when frame.Frame.int_stamps <> [] ->
+    f ~src:(src_host frame) ~stamps:frame.Frame.int_stamps
+  | Some _ | None -> ());
   if frame.Frame.ethertype = Frame.ethertype_notice then begin
     match frame.Frame.payload with
     | Payload.Port_notice { event; _ } -> handle_link_event t event ~reflood:true
@@ -484,9 +534,12 @@ let create ?k ?(nic = Nic.Dumbnet_agent) ~network:net ~rng ~self () =
       echo_hook = None;
       hello_hook = None;
       transport_hook = None;
+      stamp_hook = None;
+      int_probe_hook = None;
       local_paths = None;
       last_patch_version = 0;
       stage1_enabled = true;
+      int_enabled = false;
     }
   in
   Network.set_host_nic net self nic;

@@ -128,6 +128,35 @@ val set_transport_hook : t -> (src:host_id -> Payload.t -> unit) -> unit
 (** Invoked on transport control messages ([Rts], [Token]) — the
     receiver-driven transport extension's dispatch point. *)
 
+(** {1 In-band telemetry} *)
+
+val set_int_enabled : t -> bool -> unit
+(** When on, every frame this agent tags also carries the INT flag, so
+    switches stamp it hop by hop and the receiver's collector learns
+    the path's queue/latency state for free (default off). *)
+
+val int_enabled : t -> bool
+
+val set_stamp_hook : t -> (src:host_id option -> stamps:Int_stamp.t list -> unit) -> unit
+(** Invoked on every received frame carrying INT stamps, before payload
+    dispatch — the telemetry collector's feed. [src] is [None] for
+    switch-originated or broadcast frames. *)
+
+val set_int_probe_hook : t -> (seq:int -> sent_ns:int -> stamps:Int_stamp.t list -> unit) -> unit
+(** Invoked when one of our own [Int_probe] loop probes returns with
+    its stamp chain (the active prober's completion signal). *)
+
+val demote_link : t -> link_end -> int
+(** Telemetry-driven failover: mark the link end failed in the cache
+    overlay and drop every PathTable path through it — the same local
+    actions a stage-1 down notification triggers, so a gray-failing
+    link is evicted without any switch alarm or controller re-probe.
+    Returns the number of affected destinations. *)
+
+val promote_link : t -> link_end -> unit
+(** Undo a {!demote_link} once estimates recover: clear the overlay and
+    refresh degraded entries from the cached subgraphs. *)
+
 val set_local_path_service : t -> (host_id -> Pathgraph.t option) -> unit
 (** Short-circuits controller queries: the controller's own agent
     resolves misses from the local store instead of the network. *)

@@ -22,15 +22,27 @@ type t = {
   tags : Tag.t list;
   ecn : bool;
   priority : priority;
+  int_enabled : bool;
+  int_stamps : Int_stamp.t list;
   payload : Payload.t;
 }
 
 let mark_ecn t = if t.ecn then t else { t with ecn = true }
 
+let with_int t = if t.int_enabled then t else { t with int_enabled = true }
+
+(* Append-one is the whole switch-side INT instruction set; a full
+   region forwards unstamped so the wire cost stays bounded. *)
+let add_stamp stamp t =
+  if (not t.int_enabled) || List.length t.int_stamps >= Int_stamp.max_per_frame then t
+  else { t with int_stamps = t.int_stamps @ [ stamp ] }
+
 let with_priority priority t = { t with priority }
 
 let priority_of_payload = function
-  | Payload.Data _ -> Normal
+  (* INT probes ride the normal lane on purpose: they must experience
+     the queueing that data experiences, or the stamps lie. *)
+  | Payload.Data _ | Payload.Int_probe _ -> Normal
   | Payload.Probe _ | Payload.Probe_reply _ | Payload.Id_reply _ | Payload.Port_notice _
   | Payload.Host_flood _ | Payload.Topo_patch _ | Payload.Path_query _
   | Payload.Path_response _ | Payload.Controller_hello _ | Payload.Peer_list _
@@ -53,6 +65,8 @@ let dumbnet ~src ~dst ~tags ~payload =
     tags;
     ecn = false;
     priority = priority_of_payload payload;
+    int_enabled = false;
+    int_stamps = [];
     payload;
   }
 
@@ -67,6 +81,8 @@ let notice ~origin ~event ~hops_left =
     tags = [];
     ecn = false;
     priority = High;
+    int_enabled = false;
+    int_stamps = [];
     payload = Payload.Port_notice { event; hops_left };
   }
 
@@ -78,6 +94,8 @@ let plain ~src ~dst ~payload =
     tags = [];
     ecn = false;
     priority = priority_of_payload payload;
+    int_enabled = false;
+    int_stamps = [];
     payload;
   }
 
@@ -85,7 +103,12 @@ let eth_header = 14 (* 2 x MAC + EtherType *)
 
 let fcs = 4
 
-let header_bytes t = eth_header + List.length t.tags + 1 (* ECN byte *) + fcs
+let int_region_bytes t =
+  if t.int_enabled then 1 (* stamp count *) + (Int_stamp.wire_size * List.length t.int_stamps)
+  else 0
+
+let header_bytes t =
+  eth_header + List.length t.tags + 1 (* ECN byte *) + int_region_bytes t + fcs
 
 let byte_size t = header_bytes t + Payload.byte_size t.payload
 
@@ -133,8 +156,21 @@ let to_bytes t =
   (* One TOS-like byte: bits 0-1 the ECN codepoint, bit 2 the priority
      class (conceptually the IP header's TOS, kept adjacent for the
      simulator's framing). *)
-  let tos = (if t.ecn then 0x03 else 0x00) lor (if t.priority = High then 0x04 else 0x00) in
+  let tos =
+    (if t.ecn then 0x03 else 0x00)
+    lor (if t.priority = High then 0x04 else 0x00)
+    lor if t.int_enabled then 0x08 else 0x00
+  in
   Buffer.add_char buf (Char.chr tos);
+  (* Telemetry region: right after the TOS byte (itself after the tag
+     stack), present iff TOS bit 3 is set — a count byte then that many
+     fixed-width stamps, appended hop by hop. *)
+  if t.int_enabled then begin
+    let w = Wire.Writer.create () in
+    Wire.Writer.u8 w (List.length t.int_stamps);
+    List.iter (Int_stamp.write w) t.int_stamps;
+    Buffer.add_bytes buf (Wire.Writer.contents w)
+  end;
   let payload = Payload.encode t.payload in
   Buffer.add_char buf (Char.chr ((Bytes.length payload lsr 8) land 0xFF));
   Buffer.add_char buf (Char.chr (Bytes.length payload land 0xFF));
@@ -181,21 +217,40 @@ let of_bytes b =
   end;
   if !pos + 1 > body_len then raise Wire.Truncated;
   let tos = Char.code (Bytes.get b !pos) in
-  if tos land (lnot 0x07) <> 0 || tos land 0x03 = 0x01 || tos land 0x03 = 0x02 then
+  if tos land (lnot 0x0F) <> 0 || tos land 0x03 = 0x01 || tos land 0x03 = 0x02 then
     raise Wire.Truncated;
   let ecn = tos land 0x03 = 0x03 in
   let priority = if tos land 0x04 <> 0 then High else Normal in
+  let int_enabled = tos land 0x08 <> 0 in
   incr pos;
+  let int_stamps =
+    if not int_enabled then []
+    else begin
+      if !pos >= body_len then raise Wire.Truncated;
+      let count = Char.code (Bytes.get b !pos) in
+      incr pos;
+      if count > Int_stamp.max_per_frame then raise Wire.Truncated;
+      let region = count * Int_stamp.wire_size in
+      if !pos + region > body_len then raise Wire.Truncated;
+      let r = Wire.Reader.of_bytes (Bytes.sub b !pos region) in
+      let stamps = List.init count (fun _ -> Int_stamp.read r) in
+      pos := !pos + region;
+      stamps
+    end
+  in
   if !pos + 2 > body_len then raise Wire.Truncated;
   let plen = (Char.code (Bytes.get b !pos) lsl 8) lor Char.code (Bytes.get b (!pos + 1)) in
   pos := !pos + 2;
   if !pos + plen <> body_len then raise Wire.Truncated;
   let payload = Payload.decode (Bytes.sub b !pos plen) in
-  { dst; src; ethertype; tags = List.rev !tags; ecn; priority; payload }
+  { dst; src; ethertype; tags = List.rev !tags; ecn; priority; int_enabled; int_stamps; payload }
 
 let equal a b =
   a.dst = b.dst && a.src = b.src && a.ethertype = b.ethertype && a.tags = b.tags
   && a.ecn = b.ecn && a.priority = b.priority
+  && a.int_enabled = b.int_enabled
+  && List.length a.int_stamps = List.length b.int_stamps
+  && List.for_all2 Int_stamp.equal a.int_stamps b.int_stamps
   && Payload.equal a.payload b.payload
 
 let pp_addr ppf = function

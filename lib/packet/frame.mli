@@ -41,15 +41,29 @@ type t = {
   ecn : bool;  (** congestion-experienced mark (IP ECN CE); switches set
                    it statelessly when their egress queue is deep *)
   priority : priority;
+  int_enabled : bool;  (** TOS bit 3: switches append an {!Int_stamp} on
+                           every pop while the region has room *)
+  int_stamps : Int_stamp.t list;  (** telemetry region, first hop first *)
   payload : Payload.t;
 }
 
 val mark_ecn : t -> t
 
+val with_int : t -> t
+(** Arm in-band telemetry: sets the INT flag (with an initially empty
+    stamp region) so every switch on the path appends a stamp. *)
+
+val add_stamp : Int_stamp.t -> t -> t
+(** What a switch does per hop: append one stamp. No-op if the INT flag
+    is off or the region already holds {!Int_stamp.max_per_frame}
+    stamps (the frame still forwards — telemetry saturates, traffic
+    does not suffer). *)
+
 val with_priority : priority -> t -> t
 
 val priority_of_payload : Payload.t -> priority
-(** [High] for everything except bulk [Data]. *)
+(** [High] for everything except bulk [Data] and [Int_probe] (probes
+    must share the data lane to measure its queueing). *)
 
 val dumbnet : src:host_id -> dst:addr -> tags:Tag.t list -> payload:Payload.t -> t
 (** A source-routed frame as a host agent emits it; priority defaults
@@ -67,13 +81,16 @@ val plain : src:host_id -> dst:host_id -> payload:Payload.t -> t
     host-to-host traffic outside the fabric). *)
 
 val header_bytes : t -> int
-(** Ethernet header + tag bytes + FCS — everything except the payload. *)
+(** Ethernet header + tag bytes + telemetry region + FCS — everything
+    except the payload. Grows by {!Int_stamp.wire_size} per hop on
+    INT-enabled frames. *)
 
 val byte_size : t -> int
 (** Total wire size charged to links by the simulator. *)
 
 val to_bytes : t -> Bytes.t
 (** Exact wire layout: dst MAC, src MAC, EtherType, tags (0x9800 only),
+    TOS byte, telemetry region (TOS bit 3 only: count byte + stamps),
     encoded payload, CRC-32 FCS. *)
 
 val of_bytes : Bytes.t -> t

@@ -1,0 +1,38 @@
+open Dumbnet_topology
+open Types
+module W = Wire.Writer
+module R = Wire.Reader
+
+type t = {
+  switch : switch_id;
+  port : port;
+  queue_depth : int;
+  timestamp_ns : int;
+}
+
+let max_per_frame = 15
+
+(* switch u32 + port u8 + queue u32 + timestamp 8 bytes *)
+let wire_size = 4 + 1 + 4 + 8
+
+let link_end t = { sw = t.switch; port = t.port }
+
+let write w t =
+  W.u32 w (Int32.of_int t.switch);
+  W.u8 w t.port;
+  W.u32 w (Int32.of_int (min t.queue_depth 0xFFFFFFF));
+  W.int w t.timestamp_ns
+
+let read r =
+  let switch = Int32.to_int (R.u32 r) land 0xFFFFFFFF in
+  let port = R.u8 r in
+  if port < 1 || port > max_port then raise Wire.Truncated;
+  let queue_depth = Int32.to_int (R.u32 r) land 0xFFFFFFFF in
+  let timestamp_ns = R.int r in
+  if timestamp_ns < 0 then raise Wire.Truncated;
+  { switch; port; queue_depth; timestamp_ns }
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "S%d:%d q=%dB t=%dns" t.switch t.port t.queue_depth t.timestamp_ns

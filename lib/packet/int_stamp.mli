@@ -1,0 +1,40 @@
+(** In-band telemetry stamps.
+
+    When a frame carries the INT flag, every switch that forwards it
+    appends one stamp: its identity, the egress port taken, the egress
+    queue backlog it observed at the forwarding instant, and its local
+    clock. The stamp is written blindly — the switch keeps no per-flow
+    or per-packet state, so INT fits the dumb-switch contract exactly
+    ("Millions of Little Minions"-style tiny packet programs, restricted
+    to a fixed append). Hosts turn chains of stamps into per-link
+    queue/latency estimates ({!Dumbnet_telemetry.Collector}). *)
+
+open Dumbnet_topology
+open Types
+
+type t = {
+  switch : switch_id;
+  port : port;  (** egress port the frame left through *)
+  queue_depth : int;  (** egress backlog in bytes at the forwarding instant *)
+  timestamp_ns : int;  (** the switch's clock when the stamp was written *)
+}
+
+val max_per_frame : int
+(** Hard cap on stamps per frame (15): a switch seeing a full telemetry
+    region forwards without stamping, so the region has a fixed worst-
+    case wire cost and can never starve the payload. *)
+
+val wire_size : int
+(** Encoded size of one stamp in bytes (fixed-width record). *)
+
+val link_end : t -> link_end
+(** The egress this stamp describes, as a collector table key. *)
+
+val write : Wire.Writer.t -> t -> unit
+
+val read : Wire.Reader.t -> t
+(** Raises {!Wire.Truncated} on malformed input. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

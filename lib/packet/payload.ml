@@ -30,6 +30,7 @@ type t =
   | Ecn_echo of { flow : int; marks : int; latest_sent_ns : int }
   | Rts of { flow : int; bytes : int }
   | Token of { flow : int; packets : int }
+  | Int_probe of { origin : host_id; seq : int; sent_ns : int }
 
 let write_link_end w (le : link_end) =
   W.int w le.sw;
@@ -186,7 +187,12 @@ let encode t =
   | Token { flow; packets } ->
     W.u8 w 13;
     W.int w flow;
-    W.int w packets);
+    W.int w packets
+  | Int_probe { origin; seq; sent_ns } ->
+    W.u8 w 14;
+    W.int w origin;
+    W.int w seq;
+    W.int w sent_ns);
   W.contents w
 
 let decode buf =
@@ -240,6 +246,11 @@ let decode buf =
       let flow = R.int r in
       let packets = R.int r in
       Token { flow; packets }
+    | 14 ->
+      let origin = R.int r in
+      let seq = R.int r in
+      let sent_ns = R.int r in
+      Int_probe { origin; seq; sent_ns }
     | _ -> raise Wire.Truncated
   in
   if not (R.at_end r) then raise Wire.Truncated;
@@ -286,3 +297,5 @@ let pp ppf = function
     Format.fprintf ppf "ecn-echo(flow=%d marks=%d)" flow marks
   | Rts { flow; bytes } -> Format.fprintf ppf "rts(flow=%d %dB)" flow bytes
   | Token { flow; packets } -> Format.fprintf ppf "token(flow=%d %d pkts)" flow packets
+  | Int_probe { origin; seq; sent_ns = _ } ->
+    Format.fprintf ppf "int-probe(from=H%d seq=%d)" origin seq

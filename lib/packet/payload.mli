@@ -61,6 +61,11 @@ type t =
   | Token of { flow : int; packets : int }
       (** receiver-driven credit: permission to send [packets] more
           MTU-sized packets of [flow] *)
+  | Int_probe of { origin : host_id; seq : int; sent_ns : int }
+      (** an active-telemetry loop probe: the origin source-routes it
+          out and back to itself with the INT flag set, so the returned
+          stamp chain describes every egress on the loop (the
+          {!Dumbnet_telemetry} prober's keep-estimates-fresh traffic) *)
 
 val byte_size : t -> int
 (** Bytes this payload occupies on the wire: the declared [size] for

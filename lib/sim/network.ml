@@ -29,6 +29,7 @@ type stats = {
   mutable queue_drops : int;
   mutable dataplane_drops : int;
   mutable bytes_delivered : int;
+  mutable int_stamped : int;
 }
 
 (* One egress direction of a link (from a switch port or a host NIC).
@@ -85,6 +86,7 @@ let create ?(config = default_config) ~engine:eng ~graph:g () =
           queue_drops = 0;
           dataplane_drops = 0;
           bytes_delivered = 0;
+          int_stamped = 0;
         };
     }
   in
@@ -150,6 +152,17 @@ let busiest_ports t ~top =
 let serialization_ns egress ~bytes =
   int_of_float (Float.of_int (bytes * 8) /. egress.bandwidth_gbps)
 
+(* Instantaneous normal-lane backlog of one egress direction, in bytes —
+   what the drop-tail check, the ECN mark and the INT stamp all read. *)
+let backlog_bytes egress ~now =
+  let backlog_ns = max 0 (egress.busy_until - now) in
+  int_of_float (Float.of_int backlog_ns *. egress.bandwidth_gbps /. 8.)
+
+let queue_backlog_bytes t le =
+  match Hashtbl.find_opt t.ports (le.sw, le.port) with
+  | Some e -> backlog_bytes e ~now:(Engine.now t.eng)
+  | None -> invalid_arg "Network.queue_backlog_bytes: unknown port"
+
 (* Charge the frame to an egress direction: drop-tail if the backlog
    already exceeds the queue, otherwise serialize after the (per-lane)
    queue drains and deliver after propagation. High-priority frames only
@@ -190,7 +203,10 @@ let transmit t egress frame ~deliver =
 
 let deliver_to_host t h frame =
   let hs = host_state t h in
-  let delay = Nic.rx_latency_ns hs.nic in
+  let delay =
+    Nic.rx_latency_ns hs.nic
+    + (Nic.int_parse_ns hs.nic * List.length frame.Frame.int_stamps)
+  in
   Engine.schedule t.eng ~delay_ns:delay (fun () ->
       t.stats.host_rx <- t.stats.host_rx + 1;
       t.stats.bytes_delivered <- t.stats.bytes_delivered + Frame.byte_size frame;
@@ -203,9 +219,24 @@ let rec switch_receive t sw ~in_port frame =
       t.stats.switch_hops <- t.stats.switch_hops + 1;
       let num_ports = Graph.ports_of t.g sw in
       let port_up p = Graph.link_up t.g { sw; port = p } in
-      match Dataplane.handle ~self:sw ~num_ports ~port_up ~in_port frame with
+      (* The INT stamp source: the very values this port's hardware
+         already holds (its clock, the egress backlog the ECN/drop logic
+         reads), packaged per forwarding decision. *)
+      let stamp p =
+        let now = Engine.now t.eng in
+        let queue_depth =
+          match Hashtbl.find_opt t.ports (sw, p) with
+          | Some e -> backlog_bytes e ~now
+          | None -> 0
+        in
+        { Dumbnet_packet.Int_stamp.switch = sw; port = p; queue_depth; timestamp_ns = now }
+      in
+      match Dataplane.handle ~self:sw ~num_ports ~port_up ~stamp ~in_port frame with
       | Dataplane.Drop _ -> t.stats.dataplane_drops <- t.stats.dataplane_drops + 1
-      | Dataplane.Forward (p, frame') -> emit_from_switch t sw p frame'
+      | Dataplane.Forward (p, frame') ->
+        if List.length frame'.Frame.int_stamps > List.length frame.Frame.int_stamps then
+          t.stats.int_stamped <- t.stats.int_stamped + 1;
+        emit_from_switch t sw p frame'
       | Dataplane.Flood frame' ->
         List.iter
           (fun (p, _) -> if p <> in_port then emit_from_switch t sw p frame')

@@ -34,6 +34,7 @@ type stats = {
   mutable queue_drops : int;
   mutable dataplane_drops : int;  (** bad tag, down port, untagged... *)
   mutable bytes_delivered : int;
+  mutable int_stamped : int;  (** telemetry stamps appended by switches *)
 }
 
 type t
@@ -89,3 +90,9 @@ val port_counters : t -> link_end -> int * int
 val busiest_ports : t -> top:int -> (link_end * int) list
 (** The [top] egress ports by bytes sent, busiest first (hotspot
     telemetry built on the counters). *)
+
+val queue_backlog_bytes : t -> link_end -> int
+(** Instantaneous normal-lane egress backlog at this switch port — the
+    engine-side ground truth that INT stamps sample, exposed so
+    experiments can check collector estimates against reality. Raises
+    [Invalid_argument] on an unknown port. *)

@@ -26,6 +26,13 @@ let rx_latency_ns = function
   | Dpdk_mpls -> 555_000
   | Dumbnet_agent -> 556_000 (* + ø validation and strip *)
 
+(* Per-stamp cost of walking the telemetry region on receive: one
+   fixed-width record copy each, cheap next to the stack traversal. The
+   kernel stack pays a little more per touch than the DPDK pipelines. *)
+let int_parse_ns = function
+  | Native -> 40
+  | Dpdk_noop | Dpdk_mpls | Dumbnet_agent -> 25
+
 let pp_mode ppf m =
   Format.pp_print_string ppf
     (match m with

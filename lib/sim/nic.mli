@@ -25,4 +25,8 @@ val tx_latency_ns : mode -> int
 val rx_latency_ns : mode -> int
 (** Same on receive (includes ø check and strip for [Dumbnet_agent]). *)
 
+val int_parse_ns : mode -> int
+(** Additional receive cost per in-band telemetry stamp carried by the
+    frame (the collector walks the stamp region record by record). *)
+
 val pp_mode : Format.formatter -> mode -> unit

@@ -15,7 +15,7 @@ type action =
   | Flood of Frame.t
   | Drop of drop_reason
 
-let rec process_tags ~self ~num_ports ~port_up (frame : Frame.t) =
+let rec process_tags ~self ~num_ports ~port_up ~stamp (frame : Frame.t) =
   match frame.Frame.tags with
   | [] -> Drop No_tags
   | Tag.End_of_path :: _ -> Drop Path_ended_at_switch
@@ -30,16 +30,29 @@ let rec process_tags ~self ~num_ports ~port_up (frame : Frame.t) =
         payload = Payload.Id_reply { switch = self };
       }
     in
-    process_tags ~self ~num_ports ~port_up reply
+    process_tags ~self ~num_ports ~port_up ~stamp reply
   | Tag.Forward p :: rest ->
     if p < 1 || p > num_ports then Drop (Port_out_of_range p)
     else if not (port_up p) then Drop (Port_down p)
-    else Forward (p, { frame with Frame.tags = rest })
+    else begin
+      let frame = { frame with Frame.tags = rest } in
+      (* In-band telemetry: an INT-flagged frame gets one stamp appended
+         as it is popped — a fixed-cost blind write of values the
+         hardware already observes (own ID, chosen port, egress backlog,
+         clock). No state is consulted or retained, so the switch stays
+         dumb. *)
+      let frame =
+        match stamp with
+        | Some observe when frame.Frame.int_enabled -> Frame.add_stamp (observe p) frame
+        | Some _ | None -> frame
+      in
+      Forward (p, frame)
+    end
 
-let handle ~self ~num_ports ~port_up ~in_port frame =
+let handle ~self ~num_ports ~port_up ?stamp ~in_port frame =
   ignore in_port;
   if frame.Frame.ethertype = Frame.ethertype_dumbnet then
-    process_tags ~self ~num_ports ~port_up frame
+    process_tags ~self ~num_ports ~port_up ~stamp frame
   else if frame.Frame.ethertype = Frame.ethertype_notice then begin
     match frame.Frame.payload with
     | Payload.Port_notice { event; hops_left } ->
@@ -50,7 +63,7 @@ let handle ~self ~num_ports ~port_up ~in_port frame =
     | Payload.Data _ | Payload.Probe _ | Payload.Probe_reply _ | Payload.Id_reply _
     | Payload.Host_flood _ | Payload.Topo_patch _ | Payload.Path_query _
     | Payload.Path_response _ | Payload.Controller_hello _ | Payload.Peer_list _
-    | Payload.Ecn_echo _ | Payload.Rts _ | Payload.Token _ ->
+    | Payload.Ecn_echo _ | Payload.Rts _ | Payload.Token _ | Payload.Int_probe _ ->
       Drop Untagged
   end
   else Drop Untagged

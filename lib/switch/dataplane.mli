@@ -25,10 +25,21 @@ type action =
   | Drop of drop_reason
 
 val handle :
-  self:switch_id -> num_ports:int -> port_up:(port -> bool) -> in_port:port -> Frame.t -> action
+  self:switch_id ->
+  num_ports:int ->
+  port_up:(port -> bool) ->
+  ?stamp:(port -> Int_stamp.t) ->
+  in_port:port ->
+  Frame.t ->
+  action
 (** One frame in, one action out. ID queries are answered by rewriting
     the frame in place: the [Id_query] tag is consumed, the payload
     becomes [Id_reply self] with the switch as source, and the remaining
-    tags route the reply — all in the same pass, no state retained. *)
+    tags route the reply — all in the same pass, no state retained.
+
+    [stamp] is the hardware's view of one egress (backlog, clock) for
+    in-band telemetry: INT-flagged frames get [stamp p] appended as they
+    are forwarded out port [p]. Like ECN marking it reads only values
+    the port logic already has — the switch keeps no telemetry state. *)
 
 val pp_drop_reason : Format.formatter -> drop_reason -> unit

@@ -1,0 +1,133 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type estimate = {
+  mutable queue_bytes : float;
+  mutable latency_ns : float;
+  mutable queue_samples : int;
+  mutable latency_samples : int;
+  mutable losses : int;
+  mutable last_update_ns : int;
+}
+
+type snapshot = {
+  queue_bytes : float;
+  latency_ns : float;
+  queue_samples : int;
+  latency_samples : int;
+  losses : int;
+  last_update_ns : int;
+}
+
+type t = {
+  alpha : float;
+  default_hop_ns : float;
+  links : (link_end, estimate) Hashtbl.t;
+}
+
+(* Idle 10 GbE hop: ~400 ns switch + ~1200 ns MTU serialization +
+   ~500 ns propagation, rounded up. *)
+let default_default_hop_ns = 3_000.
+
+let create ?(alpha = 0.2) ?(default_hop_ns = default_default_hop_ns) () =
+  if alpha <= 0. || alpha > 1. then invalid_arg "Collector.create: alpha must be in (0, 1]";
+  { alpha; default_hop_ns; links = Hashtbl.create 64 }
+
+let alpha t = t.alpha
+
+let estimate_for t le =
+  match Hashtbl.find_opt t.links le with
+  | Some e -> e
+  | None ->
+    let e : estimate =
+      {
+        queue_bytes = 0.;
+        latency_ns = 0.;
+        queue_samples = 0;
+        latency_samples = 0;
+        losses = 0;
+        last_update_ns = 0;
+      }
+    in
+    Hashtbl.replace t.links le e;
+    e
+
+(* First sample seeds the average; later ones blend in with gain alpha. *)
+let ewma t ~old ~samples value =
+  if samples = 0 then value else old +. (t.alpha *. (value -. old))
+
+let observe t ~now_ns stamps =
+  let rec go = function
+    | [] -> ()
+    | (stamp : Int_stamp.t) :: rest ->
+      let le = Int_stamp.link_end stamp in
+      let e = estimate_for t le in
+      e.queue_bytes <- ewma t ~old:e.queue_bytes ~samples:e.queue_samples (float_of_int stamp.Int_stamp.queue_depth);
+      e.queue_samples <- e.queue_samples + 1;
+      e.last_update_ns <- now_ns;
+      (match rest with
+      | next :: _ ->
+        (* Time from this switch's forwarding decision to the next
+           switch's: queueing + serialization out of [le] + the wire +
+           the next hop's fixed cost. Attributed to [le], whose queue
+           dominates when anything is wrong. *)
+        let sample = next.Int_stamp.timestamp_ns - stamp.Int_stamp.timestamp_ns in
+        if sample >= 0 then begin
+          e.latency_ns <- ewma t ~old:e.latency_ns ~samples:e.latency_samples (float_of_int sample);
+          e.latency_samples <- e.latency_samples + 1
+        end
+      | [] -> ());
+      go rest
+  in
+  go stamps
+
+let note_loss t le =
+  let e = estimate_for t le in
+  e.losses <- e.losses + 1
+
+let queue_estimate t le =
+  match Hashtbl.find_opt t.links le with
+  | Some e when e.queue_samples > 0 -> Some e.queue_bytes
+  | Some _ | None -> None
+
+let latency_estimate t le =
+  match Hashtbl.find_opt t.links le with
+  | Some e when e.latency_samples > 0 -> Some e.latency_ns
+  | Some _ | None -> None
+
+let losses t le =
+  match Hashtbl.find_opt t.links le with
+  | Some e -> e.losses
+  | None -> 0
+
+let snap (e : estimate) =
+  {
+    queue_bytes = e.queue_bytes;
+    latency_ns = e.latency_ns;
+    queue_samples = e.queue_samples;
+    latency_samples = e.latency_samples;
+    losses = e.losses;
+    last_update_ns = e.last_update_ns;
+  }
+
+let snapshot t le = Option.map snap (Hashtbl.find_opt t.links le)
+
+let known_links t = Hashtbl.fold (fun le e acc -> (le, snap e) :: acc) t.links []
+
+(* Drain time of the estimated backlog at 10 GbE (0.8 ns per byte); a
+   crude stand-in until a latency sample prices the hop directly. *)
+let queue_drain_ns_per_byte = 0.8
+
+let hop_cost_ns t (sw, port) =
+  let le = { sw; port } in
+  match Hashtbl.find_opt t.links le with
+  | Some e when e.latency_samples > 0 -> e.latency_ns
+  | Some e when e.queue_samples > 0 ->
+    t.default_hop_ns +. (e.queue_bytes *. queue_drain_ns_per_byte)
+  | Some _ | None -> t.default_hop_ns
+
+let path_cost_ns t (p : Path.t) =
+  List.fold_left (fun acc hop -> acc +. hop_cost_ns t hop) 0. p.Path.hops
+
+let forget t le = Hashtbl.remove t.links le

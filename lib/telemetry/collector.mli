@@ -1,0 +1,77 @@
+(** The host-side telemetry collector: stamp chains in, a live per-link
+    fabric model out.
+
+    Every INT-stamped frame a host receives (its own loop probes, data
+    from peers, even control traffic) is a free measurement of the path
+    it took. The collector folds those measurements into exponentially
+    weighted moving averages keyed by egress [(switch, port)]:
+
+    - {b queue depth}: each stamp carries the egress backlog the switch
+      observed when it forwarded the frame;
+    - {b per-hop latency}: the difference between consecutive stamps'
+      timestamps is the time spent queueing, serializing and
+      propagating out of the earlier stamp's egress (plus the next
+      switch's fixed forwarding cost);
+    - {b losses}: the active prober reports probes that never returned,
+      charged to every egress on the probed loop.
+
+    All state is per-host and O(links observed) — the fabric itself
+    stays stateless. *)
+
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type t
+
+(** A read-only view of one link's estimates. *)
+type snapshot = {
+  queue_bytes : float;  (** EWMA egress backlog *)
+  latency_ns : float;  (** EWMA per-hop latency; 0 until a sample lands *)
+  queue_samples : int;
+  latency_samples : int;
+  losses : int;
+  last_update_ns : int;
+}
+
+val create : ?alpha:float -> ?default_hop_ns:float -> unit -> t
+(** [alpha] (default 0.2) is the EWMA gain — the weight of each new
+    sample. [default_hop_ns] (default 3000) is the cost assumed for a
+    hop with no latency estimate yet (roughly switch latency +
+    serialization + propagation on an idle 10 GbE link). Raises
+    [Invalid_argument] if [alpha] is outside (0, 1]. *)
+
+val alpha : t -> float
+
+val observe : t -> now_ns:int -> Int_stamp.t list -> unit
+(** Fold one received stamp chain (first hop first) into the model:
+    every stamp updates its egress's queue estimate; every consecutive
+    pair updates the earlier egress's latency estimate. *)
+
+val note_loss : t -> link_end -> unit
+
+val queue_estimate : t -> link_end -> float option
+(** EWMA backlog in bytes; [None] before the first stamp. *)
+
+val latency_estimate : t -> link_end -> float option
+(** EWMA per-hop latency in ns; [None] before the first sample. *)
+
+val losses : t -> link_end -> int
+
+val snapshot : t -> link_end -> snapshot option
+
+val known_links : t -> (link_end * snapshot) list
+(** Every egress observed so far, in unspecified order. *)
+
+val hop_cost_ns : t -> switch_id * port -> float
+(** The TE cost of one path hop: its latency estimate when known,
+    otherwise [default_hop_ns] plus the drain time of any estimated
+    queue backlog — so a congested egress looks expensive even before
+    a latency sample lands. *)
+
+val path_cost_ns : t -> Path.t -> float
+(** Sum of {!hop_cost_ns} over the path's hops: the comparison key the
+    telemetry-guided flowlet TE minimizes over cached paths. *)
+
+val forget : t -> link_end -> unit
+(** Drop a link's state (e.g. after the topology patched it away). *)

@@ -1,0 +1,36 @@
+open Dumbnet_sim
+open Dumbnet_host
+
+type t = { collector : Collector.t; health : Health.t; prober : Prober.t; agent : Agent.t }
+
+let attach ?collector ?health ?probe_interval_ns ?probe_timeout_ns ?health_interval_ns
+    ?(probing = true) ?(watching = true) ~engine ~agent () =
+  let collector =
+    match collector with
+    | Some c -> c
+    | None -> Collector.create ()
+  in
+  let health =
+    match health with
+    | Some h -> h
+    | None -> Health.create ()
+  in
+  Agent.set_int_enabled agent true;
+  Agent.set_stamp_hook agent (fun ~src:_ ~stamps ->
+      Collector.observe collector ~now_ns:(Engine.now engine) stamps);
+  let prober =
+    Prober.create ?interval_ns:probe_interval_ns ?timeout_ns:probe_timeout_ns ~engine
+      ~agent ~collector ()
+  in
+  if probing then Prober.start prober;
+  if watching then
+    Health.watch ?interval_ns:health_interval_ns health ~engine ~collector ~agent;
+  { collector; health; prober; agent }
+
+let collector t = t.collector
+
+let health t = t.health
+
+let prober t = t.prober
+
+let agent t = t.agent

@@ -1,0 +1,37 @@
+(** One-call telemetry bring-up for a host.
+
+    [attach] turns an existing agent into a telemetry-enabled endpoint:
+    its outgoing frames carry the INT flag, every received stamp chain
+    (data and probes alike — one feed, no double counting) flows into a
+    {!Collector}, an active {!Prober} keeps idle paths measured, and a
+    {!Health} watch demotes gray-failing links through the agent's
+    normal failure path. *)
+
+open Dumbnet_sim
+open Dumbnet_host
+
+type t
+
+val attach :
+  ?collector:Collector.t ->
+  ?health:Health.t ->
+  ?probe_interval_ns:int ->
+  ?probe_timeout_ns:int ->
+  ?health_interval_ns:int ->
+  ?probing:bool ->
+  ?watching:bool ->
+  engine:Engine.t ->
+  agent:Agent.t ->
+  unit ->
+  t
+(** [probing] (default true) starts the prober; [watching] (default
+    true) starts the health watch. Pass your own [collector]/[health]
+    to share or pre-configure them. *)
+
+val collector : t -> Collector.t
+
+val health : t -> Health.t
+
+val prober : t -> Prober.t
+
+val agent : t -> Agent.t

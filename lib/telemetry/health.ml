@@ -1,0 +1,61 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_sim
+open Dumbnet_host
+
+type t = {
+  latency_threshold_ns : float;
+  loss_threshold : int;
+  min_samples : int;
+  flagged : (link_end, int) Hashtbl.t; (* link -> detection time *)
+  mutable detection_log : (link_end * int) list; (* newest first *)
+  mutable on_flag : (link_end -> unit) option;
+}
+
+let create ?(latency_threshold_ns = 100_000.) ?(loss_threshold = 3) ?(min_samples = 3) () =
+  {
+    latency_threshold_ns;
+    loss_threshold;
+    min_samples;
+    flagged = Hashtbl.create 8;
+    detection_log = [];
+    on_flag = None;
+  }
+
+let set_on_flag t f = t.on_flag <- Some f
+
+let is_flagged t le = Hashtbl.mem t.flagged le
+
+let detections t = List.rev t.detection_log
+
+let clear t le = Hashtbl.remove t.flagged le
+
+let suspect t (snap : Collector.snapshot) =
+  (snap.Collector.latency_samples >= t.min_samples
+  && snap.Collector.latency_ns > t.latency_threshold_ns)
+  || snap.Collector.losses >= t.loss_threshold
+
+let check t ~now_ns collector =
+  List.filter_map
+    (fun (le, snap) ->
+      if (not (is_flagged t le)) && suspect t snap then begin
+        Hashtbl.replace t.flagged le now_ns;
+        t.detection_log <- (le, now_ns) :: t.detection_log;
+        Some le
+      end
+      else None)
+    (Collector.known_links collector)
+
+let watch ?(interval_ns = 200_000) t ~engine ~collector ~agent =
+  let rec tick () =
+    let fresh = check t ~now_ns:(Engine.now engine) collector in
+    List.iter
+      (fun le ->
+        ignore (Agent.demote_link agent le);
+        match t.on_flag with
+        | Some f -> f le
+        | None -> ())
+      fresh;
+    Engine.schedule_daemon engine ~delay_ns:interval_ns tick
+  in
+  Engine.schedule_daemon engine ~delay_ns:interval_ns tick

@@ -1,0 +1,50 @@
+(** Gray-failure detection over collector estimates.
+
+    A gray failure is a link that still reports "up" — so neither the
+    switch port monitor nor the controller notices — but delays or
+    drops traffic (degraded optics, a flapping transceiver, a slow
+    backplane). The health monitor watches the collector's per-link
+    EWMAs and flags a link whose latency estimate crosses the threshold
+    (with enough samples to trust it) or whose probe-loss count does.
+
+    Flagged links feed the existing failure-handling path: the agent
+    demotes them in its TopoCache overlay and PathTable exactly as a
+    stage-1 down notification would ({!Dumbnet_host.Agent.demote_link}),
+    so traffic reroutes onto cached alternatives without a controller
+    re-probe. *)
+
+open Dumbnet_topology
+open Types
+open Dumbnet_sim
+open Dumbnet_host
+
+type t
+
+val create :
+  ?latency_threshold_ns:float -> ?loss_threshold:int -> ?min_samples:int -> unit -> t
+(** Flag when EWMA latency exceeds [latency_threshold_ns] (default
+    100 µs) after at least [min_samples] latency samples (default 3),
+    or when probe losses reach [loss_threshold] (default 3). *)
+
+val check : t -> now_ns:int -> Collector.t -> link_end list
+(** One scan: returns the links newly flagged by this call (already-
+    flagged links are not reported again) and records their detection
+    time. *)
+
+val watch :
+  ?interval_ns:int -> t -> engine:Engine.t -> collector:Collector.t -> agent:Agent.t -> unit
+(** Start a periodic daemon scan (default every 200 µs) that demotes
+    each newly flagged link in [agent]'s caches. Daemon events never
+    keep the simulation alive on their own. *)
+
+val set_on_flag : t -> (link_end -> unit) -> unit
+(** Extra callback per newly flagged link (after the demotion when
+    running under {!watch}). *)
+
+val is_flagged : t -> link_end -> bool
+
+val detections : t -> (link_end * int) list
+(** Every flagged link with its detection time, oldest first. *)
+
+val clear : t -> link_end -> unit
+(** Unflag (e.g. after repair), so the link can be detected again. *)

@@ -1,0 +1,149 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+open Dumbnet_sim
+open Dumbnet_host
+
+type pending = { loop : link_end list }
+
+type t = {
+  interval_ns : int;
+  timeout_ns : int;
+  engine : Engine.t;
+  agent : Agent.t;
+  collector : Collector.t;
+  outstanding : (int, pending) Hashtbl.t;
+  mutable next_seq : int;
+  mutable cursor : int;
+  mutable running : bool;
+  mutable sent : int;
+  mutable returned : int;
+  mutable lost : int;
+  mutable on_return : (seq:int -> rtt_ns:int -> stamps:Int_stamp.t list -> unit) option;
+}
+
+let create ?(interval_ns = 200_000) ?(timeout_ns = 5_000_000) ~engine ~agent ~collector () =
+  let t =
+    {
+      interval_ns;
+      timeout_ns;
+      engine;
+      agent;
+      collector;
+      outstanding = Hashtbl.create 16;
+      next_seq = 0;
+      cursor = 0;
+      running = false;
+      sent = 0;
+      returned = 0;
+      lost = 0;
+      on_return = None;
+    }
+  in
+  Agent.set_int_probe_hook agent (fun ~seq ~sent_ns ~stamps ->
+      if Hashtbl.mem t.outstanding seq then begin
+        Hashtbl.remove t.outstanding seq;
+        t.returned <- t.returned + 1;
+        match t.on_return with
+        | Some f -> f ~seq ~rtt_ns:(Engine.now engine - sent_ns) ~stamps
+        | None -> ()
+      end);
+  t
+
+let on_return t f = t.on_return <- Some f
+
+let sent t = t.sent
+
+let returned t = t.returned
+
+let lost t = t.lost
+
+exception Unknown_link
+
+(* Turn a cached forward path into a loop: out along the inter-switch
+   egresses, turn around at the last switch, back through each hop's
+   ingress port, and finally out the sender's own access port. Returns
+   the tag sequence plus every egress the loop will be stamped at, in
+   traversal order. *)
+let build_loop ~adj ~src_port (path : Path.t) =
+  match path.Path.hops with
+  | [] -> None
+  | (first_sw, _) :: _ as hops -> (
+    try
+      (* Consecutive switch pairs with the egress used and the matching
+         ingress on the far side, collected last pair first. *)
+      let rec walk acc = function
+        | (s1, p1) :: ((s2, _) :: _ as rest) ->
+          (match
+             List.find_opt (fun (op, peer, _) -> op = p1 && peer = s2) (adj s1)
+           with
+          | Some (_, _, q) -> walk ((s1, p1, s2, q) :: acc) rest
+          | None -> raise Unknown_link)
+        | [ _ ] | [] -> acc
+      in
+      (* pairs is collected last-hop first, so rev_map restores path
+         order for the outbound leg while plain map gives the return
+         leg its innermost-first order. *)
+      let pairs = walk [] hops in
+      let forward = List.rev_map (fun (_, p, _, _) -> p) pairs in
+      let tags = forward @ List.map (fun (_, _, _, q) -> q) pairs @ [ src_port ] in
+      let out = List.rev_map (fun (s, p, _, _) -> { sw = s; port = p }) pairs in
+      let back = List.map (fun (_, _, s, q) -> { sw = s; port = q }) pairs in
+      Some (tags, out @ back @ [ { sw = first_sw; port = src_port } ])
+    with Unknown_link -> None)
+
+let probe_once t =
+  let dsts = List.sort compare (Topocache.known (Agent.topocache t.agent)) in
+  match dsts with
+  | [] -> false
+  | _ -> (
+    let ndsts = List.length dsts in
+    let dst = List.nth dsts (t.cursor mod ndsts) in
+    let paths = Pathtable.paths_to (Agent.pathtable t.agent) ~dst in
+    let pg = Topocache.get (Agent.topocache t.agent) ~dst in
+    t.cursor <- t.cursor + 1;
+    match (paths, pg) with
+    | [], _ | _, None -> false
+    | paths, Some pg -> (
+      (* cursor walks destinations; a full sweep advances the path pick,
+         so every cached path of every destination gets sampled *)
+      let path = List.nth paths ((t.cursor - 1) / ndsts mod List.length paths) in
+      let adj = Pathgraph.adjacency pg in
+      let src_port = (Pathgraph.to_wire pg).Pathgraph.w_src_loc.port in
+      match build_loop ~adj ~src_port path with
+      | None -> false
+      | Some (tags, loop) ->
+        let self = Agent.self t.agent in
+        let seq = t.next_seq in
+        t.next_seq <- t.next_seq + 1;
+        let payload =
+          Payload.Int_probe { origin = self; seq; sent_ns = Engine.now t.engine }
+        in
+        let frame =
+          Frame.with_int (Frame.along_path ~src:self ~dst:self ~tags_of:tags ~payload)
+        in
+        Hashtbl.replace t.outstanding seq { loop };
+        t.sent <- t.sent + 1;
+        Agent.send_raw t.agent frame;
+        Engine.schedule_daemon t.engine ~delay_ns:t.timeout_ns (fun () ->
+            match Hashtbl.find_opt t.outstanding seq with
+            | None -> ()
+            | Some { loop } ->
+              Hashtbl.remove t.outstanding seq;
+              t.lost <- t.lost + 1;
+              List.iter (Collector.note_loss t.collector) loop);
+        true))
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    let rec tick () =
+      if t.running then begin
+        ignore (probe_once t);
+        Engine.schedule_daemon t.engine ~delay_ns:t.interval_ns tick
+      end
+    in
+    Engine.schedule_daemon t.engine ~delay_ns:t.interval_ns tick
+  end
+
+let stop t = t.running <- false

@@ -1,0 +1,373 @@
+(* Tests for the in-band telemetry subsystem: the stamp codec and the
+   frame's telemetry region (including malformed-region rejection), the
+   switch-side stamping, the collector's estimates, the loop prober,
+   and end-to-end gray-failure eviction in the simulator. *)
+
+open Dumbnet.Packet
+open Dumbnet.Topology
+open Dumbnet.Topology.Types
+module Tel = Dumbnet.Telemetry
+module Sim = Dumbnet.Sim
+module Host = Dumbnet.Host
+
+let check = Alcotest.check
+
+let stamp ?(sw = 3) ?(port = 7) ?(queue = 12_345) ?(ts = 987_654_321) () =
+  { Int_stamp.switch = sw; port; queue_depth = queue; timestamp_ns = ts }
+
+(* --- stamp codec --- *)
+
+let test_stamp_roundtrip () =
+  let s = stamp () in
+  let w = Wire.Writer.create () in
+  Int_stamp.write w s;
+  let b = Wire.Writer.contents w in
+  check Alcotest.int "wire size" Int_stamp.wire_size (Bytes.length b);
+  let r = Wire.Reader.of_bytes b in
+  Alcotest.(check bool) "roundtrip" true (Int_stamp.equal s (Int_stamp.read r));
+  check Alcotest.int "link end" 3 (Int_stamp.link_end s).sw
+
+let test_stamp_rejects_bad_port () =
+  (* A stamp whose port byte is 0 cannot name a real egress. *)
+  let w = Wire.Writer.create () in
+  Int_stamp.write w (stamp ());
+  let b = Wire.Writer.contents w in
+  Bytes.set b 4 '\x00';
+  Alcotest.(check bool) "port 0 rejected" true
+    (try
+       ignore (Int_stamp.read (Wire.Reader.of_bytes b));
+       false
+     with Wire.Truncated -> true)
+
+let test_stamp_rejects_truncation () =
+  let w = Wire.Writer.create () in
+  Int_stamp.write w (stamp ());
+  let b = Wire.Writer.contents w in
+  Alcotest.(check bool) "short read rejected" true
+    (try
+       ignore (Int_stamp.read (Wire.Reader.of_bytes (Bytes.sub b 0 10)));
+       false
+     with Wire.Truncated -> true)
+
+(* --- frame telemetry region --- *)
+
+let int_frame () =
+  Frame.along_path ~src:1 ~dst:2 ~tags_of:[ 2; 5 ]
+    ~payload:(Payload.Data { flow = 9; seq = 0; sent_ns = 77; size = 100 })
+  |> Frame.with_int
+  |> Frame.add_stamp (stamp ~sw:0 ~port:2 ~queue:0 ~ts:100 ())
+  |> Frame.add_stamp (stamp ~sw:4 ~port:5 ~queue:900 ~ts:1500 ())
+
+let test_frame_int_roundtrip () =
+  let f = int_frame () in
+  check Alcotest.int "two stamps" 2 (List.length f.Frame.int_stamps);
+  Alcotest.(check bool) "roundtrip" true (Frame.equal f (Frame.of_bytes (Frame.to_bytes f)));
+  (* The region costs one count byte plus a fixed width per stamp. *)
+  let bare = Frame.along_path ~src:1 ~dst:2 ~tags_of:[ 2; 5 ] ~payload:f.Frame.payload in
+  check Alcotest.int "header growth"
+    (Frame.header_bytes bare + 1 + (2 * Int_stamp.wire_size))
+    (Frame.header_bytes f)
+
+let test_add_stamp_requires_flag () =
+  let f =
+    Frame.along_path ~src:1 ~dst:2 ~tags_of:[ 2 ]
+      ~payload:(Payload.Data { flow = 0; seq = 0; sent_ns = 0; size = 10 })
+  in
+  let f' = Frame.add_stamp (stamp ()) f in
+  Alcotest.(check bool) "no flag, no stamp" true (f'.Frame.int_stamps = [])
+
+let test_add_stamp_saturates () =
+  let f = ref (Frame.with_int (int_frame ())) in
+  for i = 1 to 20 do
+    f := Frame.add_stamp (stamp ~ts:(1000 + i) ()) !f
+  done;
+  check Alcotest.int "capped" Int_stamp.max_per_frame (List.length !f.Frame.int_stamps);
+  (* A saturated region still round-trips. *)
+  Alcotest.(check bool) "roundtrip" true
+    (Frame.equal !f (Frame.of_bytes (Frame.to_bytes !f)))
+
+(* Corrupt the telemetry count byte of an encoded frame, refreshing the
+   FCS so only the region check can object. *)
+let with_count_byte f count =
+  let b = Frame.to_bytes f in
+  let count_at = 14 + List.length f.Frame.tags + 1 in
+  Bytes.set b count_at (Char.chr count);
+  let body_len = Bytes.length b - 4 in
+  let crc = Crc32.digest_sub b ~pos:0 ~len:body_len in
+  Bytes.set b body_len (Char.chr (Int32.to_int (Int32.shift_right_logical crc 24) land 0xFF));
+  Bytes.set b (body_len + 1)
+    (Char.chr (Int32.to_int (Int32.shift_right_logical crc 16) land 0xFF));
+  Bytes.set b (body_len + 2)
+    (Char.chr (Int32.to_int (Int32.shift_right_logical crc 8) land 0xFF));
+  Bytes.set b (body_len + 3) (Char.chr (Int32.to_int crc land 0xFF));
+  b
+
+let test_frame_rejects_oversize_count () =
+  let b = with_count_byte (int_frame ()) (Int_stamp.max_per_frame + 1) in
+  Alcotest.(check bool) "count above cap rejected" true
+    (try
+       ignore (Frame.of_bytes b);
+       false
+     with Wire.Truncated -> true)
+
+let test_frame_rejects_region_past_end () =
+  (* Count 15 with only two stamps present: the region would run past
+     the payload and FCS. *)
+  let b = with_count_byte (int_frame ()) Int_stamp.max_per_frame in
+  Alcotest.(check bool) "region overrun rejected" true
+    (try
+       ignore (Frame.of_bytes b);
+       false
+     with Wire.Truncated -> true)
+
+let test_int_probe_payload_roundtrip () =
+  let p = Payload.Int_probe { origin = 12; seq = 345; sent_ns = 6789 } in
+  Alcotest.(check bool) "roundtrip" true
+    (Payload.equal p (Payload.decode (Payload.encode p)));
+  Alcotest.(check bool) "data lane" true (Frame.priority_of_payload p = Frame.Normal)
+
+(* --- switch stamping --- *)
+
+let test_dataplane_stamps_on_pop () =
+  let f = Frame.with_int (int_frame ()) in
+  let hw p = stamp ~sw:9 ~port:p ~queue:4321 ~ts:5555 () in
+  match
+    Dumbnet.Switch.Dataplane.handle ~self:9 ~num_ports:8
+      ~port_up:(fun _ -> true)
+      ~stamp:hw ~in_port:1 f
+  with
+  | Dumbnet.Switch.Dataplane.Forward (p, f') ->
+    check Alcotest.int "tag consumed" 2 p;
+    check Alcotest.int "stamp appended" 3 (List.length f'.Frame.int_stamps);
+    let last = List.nth f'.Frame.int_stamps 2 in
+    Alcotest.(check bool) "egress stamped" true (Int_stamp.equal last (hw 2))
+  | _ -> Alcotest.fail "expected Forward"
+
+let test_dataplane_skips_unflagged () =
+  let f =
+    Frame.along_path ~src:1 ~dst:2 ~tags_of:[ 2 ]
+      ~payload:(Payload.Data { flow = 0; seq = 0; sent_ns = 0; size = 10 })
+  in
+  match
+    Dumbnet.Switch.Dataplane.handle ~self:9 ~num_ports:8
+      ~port_up:(fun _ -> true)
+      ~stamp:(fun p -> stamp ~port:p ())
+      ~in_port:1 f
+  with
+  | Dumbnet.Switch.Dataplane.Forward (_, f') ->
+    Alcotest.(check bool) "no stamp" true (f'.Frame.int_stamps = [])
+  | _ -> Alcotest.fail "expected Forward"
+
+(* --- collector --- *)
+
+let le sw port = { sw; port }
+
+let test_collector_ewma_convergence () =
+  let c = Tel.Collector.create ~alpha:0.5 () in
+  (* First sample seeds the estimate, later samples blend toward the
+     signal. *)
+  Tel.Collector.observe c ~now_ns:0 [ stamp ~sw:1 ~port:2 ~queue:0 () ];
+  for i = 1 to 20 do
+    Tel.Collector.observe c ~now_ns:(i * 1000) [ stamp ~sw:1 ~port:2 ~queue:10_000 () ]
+  done;
+  match Tel.Collector.queue_estimate c (le 1 2) with
+  | None -> Alcotest.fail "no estimate"
+  | Some q ->
+    Alcotest.(check bool) "converged" true (abs_float (q -. 10_000.) < 50.)
+
+let test_collector_latency_from_stamp_pairs () =
+  let c = Tel.Collector.create () in
+  let chain =
+    [ stamp ~sw:1 ~port:2 ~queue:0 ~ts:1_000 (); stamp ~sw:5 ~port:3 ~queue:0 ~ts:3_500 () ]
+  in
+  Tel.Collector.observe c ~now_ns:0 chain;
+  Alcotest.(check bool) "hop latency attributed to earlier egress" true
+    (Tel.Collector.latency_estimate c (le 1 2) = Some 2_500.);
+  Alcotest.(check bool) "last stamp has no pair" true
+    (Tel.Collector.latency_estimate c (le 5 3) = None);
+  (* Unsampled hops fall back to the default cost; sampled hops use the
+     estimate — so the sampled path prices higher here. *)
+  let cost_known = Tel.Collector.hop_cost_ns c (1, 2) in
+  Alcotest.(check bool) "sampled hop uses estimate" true (cost_known = 2_500.);
+  Alcotest.(check bool) "unknown hop uses default" true
+    (Tel.Collector.hop_cost_ns c (8, 8) > 0.)
+
+let test_collector_losses () =
+  let c = Tel.Collector.create () in
+  Tel.Collector.note_loss c (le 2 2);
+  Tel.Collector.note_loss c (le 2 2);
+  check Alcotest.int "losses counted" 2 (Tel.Collector.losses c (le 2 2));
+  check Alcotest.int "other links clean" 0 (Tel.Collector.losses c (le 2 3))
+
+let test_health_flags_losses () =
+  let c = Tel.Collector.create () in
+  let h = Tel.Health.create ~loss_threshold:3 () in
+  Tel.Collector.note_loss c (le 4 1);
+  check Alcotest.int "below threshold" 0 (List.length (Tel.Health.check h ~now_ns:10 c));
+  Tel.Collector.note_loss c (le 4 1);
+  Tel.Collector.note_loss c (le 4 1);
+  (match Tel.Health.check h ~now_ns:20 c with
+  | [ flagged ] -> Alcotest.(check bool) "right link" true (flagged = le 4 1)
+  | _ -> Alcotest.fail "expected one flagged link");
+  check Alcotest.int "flagged once only" 0 (List.length (Tel.Health.check h ~now_ns:30 c));
+  Alcotest.(check bool) "detection recorded" true
+    (Tel.Health.detections h = [ (le 4 1, 20) ])
+
+(* --- prober over a simulated fabric --- *)
+
+let test_prober_loops_return () =
+  (* Asymmetric on purpose: with spines = leaves the uniform port
+     numbering lets even misordered loop tags wander home. *)
+  let built = Builder.leaf_spine ~spines:2 ~leaves:3 ~hosts_per_leaf:2 () in
+  let fab = Dumbnet.Fabric.create ~seed:3 built in
+  let eng = Dumbnet.Fabric.engine fab in
+  let observer =
+    List.find (fun h -> h <> built.Builder.controller) built.Builder.hosts
+  in
+  let agent = Dumbnet.Fabric.agent fab observer in
+  List.iter
+    (fun dst -> if dst <> observer then ignore (Host.Agent.query_path agent ~dst))
+    built.Builder.hosts;
+  Dumbnet.Fabric.run fab;
+  let ep = Tel.Endpoint.attach ~probe_interval_ns:100_000 ~engine:eng ~agent () in
+  Dumbnet.Fabric.run ~for_ns:10_000_000 fab;
+  let prober = Tel.Endpoint.prober ep in
+  Tel.Prober.stop prober;
+  Dumbnet.Fabric.run fab;
+  Alcotest.(check bool) "probes flowed" true (Tel.Prober.sent prober > 50);
+  check Alcotest.int "all loops came home" (Tel.Prober.sent prober)
+    (Tel.Prober.returned prober);
+  check Alcotest.int "no losses" 0 (Tel.Prober.lost prober);
+  (* The collector learned a healthy idle-fabric latency for real
+     switch-to-switch egresses. *)
+  let collector = Tel.Endpoint.collector ep in
+  let sampled =
+    List.filter
+      (fun (_, (s : Tel.Collector.snapshot)) -> s.Tel.Collector.latency_samples > 0)
+      (Tel.Collector.known_links collector)
+  in
+  Alcotest.(check bool) "several links sampled" true (List.length sampled >= 4);
+  List.iter
+    (fun (_, (s : Tel.Collector.snapshot)) ->
+      Alcotest.(check bool) "idle hop around a microsecond" true
+        (s.Tel.Collector.latency_ns > 200. && s.Tel.Collector.latency_ns < 10_000.))
+    sampled
+
+(* --- gray failure: detect, evict, no controller involvement --- *)
+
+let test_gray_failure_evicted () =
+  let built = Builder.leaf_spine ~spines:2 ~leaves:2 ~hosts_per_leaf:2 () in
+  let fab = Dumbnet.Fabric.create ~seed:3 built in
+  let net = Dumbnet.Fabric.network fab in
+  let eng = Dumbnet.Fabric.engine fab in
+  let g = Sim.Network.graph net in
+  let leaf_of h = (Option.get (Graph.host_location g h)).sw in
+  let observer =
+    List.find (fun h -> h <> built.Builder.controller) built.Builder.hosts
+  in
+  let victim = List.find (fun h -> leaf_of h <> leaf_of observer) built.Builder.hosts in
+  let agent = Dumbnet.Fabric.agent fab observer in
+  List.iter
+    (fun dst -> if dst <> observer then ignore (Host.Agent.query_path agent ~dst))
+    built.Builder.hosts;
+  Dumbnet.Fabric.run fab;
+  let health = Tel.Health.create ~latency_threshold_ns:10_000. () in
+  let ep =
+    Tel.Endpoint.attach ~health ~probe_interval_ns:50_000 ~health_interval_ns:50_000
+      ~engine:eng ~agent ()
+  in
+  Dumbnet.Fabric.run ~for_ns:2_000_000 fab;
+  (* Degrade the spine egress of the observer's primary path: the link
+     stays up, so no monitor alarm and no notification — only the
+     telemetry can see it. *)
+  let slow =
+    match Host.Pathtable.paths_to (Host.Agent.pathtable agent) ~dst:victim with
+    | { Path.hops = _ :: (sw, port) :: _; _ } :: _ -> { sw; port }
+    | _ -> Alcotest.fail "no cached spine path"
+  in
+  Sim.Network.set_port_bandwidth net slow ~gbps:0.05;
+  let q0 = (Host.Agent.stats agent).Host.Agent.queries_sent in
+  Dumbnet.Fabric.run ~for_ns:20_000_000 fab;
+  Alcotest.(check bool) "flagged by health monitor" true
+    (Tel.Health.is_flagged health slow);
+  check Alcotest.int "no controller re-probe" q0
+    (Host.Agent.stats agent).Host.Agent.queries_sent;
+  (* Traffic now routes around the gray link without any re-query. *)
+  (match Host.Agent.send_data agent ~dst:victim ~flow:1 ~size:1450 () with
+  | Host.Agent.Sent p ->
+    Alcotest.(check bool) "avoids slow egress" true
+      (not (List.exists (fun (sw, port) -> { sw; port } = slow) p.Path.hops))
+  | _ -> Alcotest.fail "expected a cached path");
+  Tel.Prober.stop (Tel.Endpoint.prober ep);
+  Dumbnet.Fabric.run fab
+
+(* --- demote/promote plumbing --- *)
+
+let test_demote_promote_roundtrip () =
+  let built = Builder.leaf_spine ~spines:2 ~leaves:2 ~hosts_per_leaf:2 () in
+  let fab = Dumbnet.Fabric.create ~seed:3 built in
+  let observer =
+    List.find (fun h -> h <> built.Builder.controller) built.Builder.hosts
+  in
+  let agent = Dumbnet.Fabric.agent fab observer in
+  List.iter
+    (fun dst -> if dst <> observer then ignore (Host.Agent.query_path agent ~dst))
+    built.Builder.hosts;
+  Dumbnet.Fabric.run fab;
+  let g = Sim.Network.graph (Dumbnet.Fabric.network fab) in
+  let leaf_of h = (Option.get (Graph.host_location g h)).sw in
+  let victim = List.find (fun h -> leaf_of h <> leaf_of observer) built.Builder.hosts in
+  let table = Host.Agent.pathtable agent in
+  let crosses le p = List.exists (fun (sw, port) -> { sw; port } = le) p.Path.hops in
+  let slow =
+    match Host.Pathtable.paths_to table ~dst:victim with
+    | { Path.hops = _ :: (sw, port) :: _; _ } :: _ -> { sw; port }
+    | _ -> Alcotest.fail "no cached spine path"
+  in
+  Alcotest.(check bool) "initially used" true
+    (List.exists (crosses slow) (Host.Pathtable.paths_to table ~dst:victim));
+  Alcotest.(check bool) "demotion hits at least one destination" true
+    (Host.Agent.demote_link agent slow > 0);
+  Alcotest.(check bool) "paths dropped" true
+    (not (List.exists (crosses slow) (Host.Pathtable.paths_to table ~dst:victim)));
+  Host.Agent.promote_link agent slow;
+  Alcotest.(check bool) "paths restored" true
+    (List.exists (crosses slow) (Host.Pathtable.paths_to table ~dst:victim))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "stamp",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_stamp_roundtrip;
+          Alcotest.test_case "bad port rejected" `Quick test_stamp_rejects_bad_port;
+          Alcotest.test_case "truncation rejected" `Quick test_stamp_rejects_truncation;
+        ] );
+      ( "frame region",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_int_roundtrip;
+          Alcotest.test_case "flag required" `Quick test_add_stamp_requires_flag;
+          Alcotest.test_case "saturates at cap" `Quick test_add_stamp_saturates;
+          Alcotest.test_case "oversize count rejected" `Quick test_frame_rejects_oversize_count;
+          Alcotest.test_case "region overrun rejected" `Quick test_frame_rejects_region_past_end;
+          Alcotest.test_case "int-probe payload" `Quick test_int_probe_payload_roundtrip;
+        ] );
+      ( "dataplane",
+        [
+          Alcotest.test_case "stamps on pop" `Quick test_dataplane_stamps_on_pop;
+          Alcotest.test_case "skips unflagged" `Quick test_dataplane_skips_unflagged;
+        ] );
+      ( "collector",
+        [
+          Alcotest.test_case "ewma convergence" `Quick test_collector_ewma_convergence;
+          Alcotest.test_case "latency from pairs" `Quick test_collector_latency_from_stamp_pairs;
+          Alcotest.test_case "losses" `Quick test_collector_losses;
+          Alcotest.test_case "health flags losses" `Quick test_health_flags_losses;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "loop probes return" `Quick test_prober_loops_return;
+          Alcotest.test_case "gray failure evicted" `Quick test_gray_failure_evicted;
+          Alcotest.test_case "demote/promote" `Quick test_demote_promote_roundtrip;
+        ] );
+    ]
