@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt bench clean
+.PHONY: all build test check fmt bench bench-perf clean
 
 all: build
 
@@ -19,6 +19,11 @@ fmt:
 
 bench:
 	dune exec bench/main.exe
+
+# Hot-path microbenchmarks; writes BENCH_PERF.json. Full budgets —
+# CI uses `-- perf --quick` with a loosened regression gate instead.
+bench-perf:
+	dune exec bench/main.exe -- perf
 
 clean:
 	dune clean

@@ -19,6 +19,7 @@ let experiments =
     ("fig13", "HiBench task durations by network mode", E.Fig13.run);
     ("ablations", "design-choice ablations (cache, two-stage, TE, prior)", E.Ablations.run);
     ("telemetry", "in-band telemetry: accuracy, gray failures, TE", E.Telemetry_exp.run);
+    ("perf", "hot-path microbenchmarks, writes BENCH_PERF.json", E.Perf.run);
   ]
 
 let run_one name =
@@ -35,7 +36,18 @@ let list_experiments () =
   List.iter (fun (n, d, _) -> Printf.printf "  %-10s %s\n" n d) experiments
 
 let () =
-  match Array.to_list Sys.argv with
+  (* Flags apply to the named experiments; today only `perf` has one. *)
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          E.Perf.quick := true;
+          false
+        end
+        else true)
+      (Array.to_list Sys.argv)
+  in
+  match args with
   | _ :: [] ->
     print_endline "DumbNet evaluation harness: reproducing every table and figure of";
     print_endline

@@ -7,6 +7,14 @@ type t = {
   dedup : Event_dedup.t;
   mutable version : int;
   mutable pending : Payload.change list; (* newest first *)
+  (* Per-source-switch BFS distance maps, shared across path-graph
+     queries: the O(hosts²) query pattern keeps asking about the same
+     few switches. Generation-checked against the graph so any applied
+     event (failure notice, patch, discovered link) invalidates it. *)
+  dist_cache : (switch_id, (switch_id, int) Hashtbl.t) Hashtbl.t;
+  mutable dist_gen : int;
+  mutable dist_hits : int;
+  mutable dist_misses : int;
 }
 
 type outcome =
@@ -14,11 +22,39 @@ type outcome =
   | Ignored
   | Needs_probe of link_end
 
-let create g = { g = Graph.copy g; dedup = Event_dedup.create (); version = 0; pending = [] }
+let create g =
+  {
+    g = Graph.copy g;
+    dedup = Event_dedup.create ();
+    version = 0;
+    pending = [];
+    dist_cache = Hashtbl.create 64;
+    dist_gen = -1;
+    dist_hits = 0;
+    dist_misses = 0;
+  }
 
 let graph t = t.g
 
 let version t = t.version
+
+let invalidate_dist_cache t =
+  Hashtbl.reset t.dist_cache;
+  t.dist_gen <- Graph.generation t.g
+
+let distances t ~from =
+  if Graph.generation t.g <> t.dist_gen then invalidate_dist_cache t;
+  match Hashtbl.find_opt t.dist_cache from with
+  | Some d ->
+    t.dist_hits <- t.dist_hits + 1;
+    d
+  | None ->
+    t.dist_misses <- t.dist_misses + 1;
+    let d = Adjacency.bfs_distances (Graph.adjacency t.g) ~from in
+    Hashtbl.replace t.dist_cache from d;
+    d
+
+let dist_cache_stats t = (t.dist_hits, t.dist_misses)
 
 let other_end t le =
   match Graph.endpoint_at t.g le with
@@ -80,4 +116,5 @@ let apply_patch g changes =
             (Graph.neighbors g sw))
     changes
 
-let serve_path_graph ?s ?eps ?rng t ~src ~dst = Pathgraph.generate ?s ?eps ?rng t.g ~src ~dst
+let serve_path_graph ?s ?eps ?rng t ~src ~dst =
+  Pathgraph.generate ?s ?eps ?rng ~dist:(fun ~from -> distances t ~from) t.g ~src ~dst

@@ -44,4 +44,22 @@ val apply_patch : Graph.t -> Payload.change list -> unit
 val serve_path_graph :
   ?s:int -> ?eps:int -> ?rng:Dumbnet_util.Rng.t -> t -> src:host_id -> dst:host_id ->
   Pathgraph.t option
-(** Answer a host's path query from the current view. *)
+(** Answer a host's path query from the current view. Queries share
+    memoized per-switch BFS distance maps, so bursts of queries (the
+    bootstrap push, the post-failure re-query storm) cost one BFS per
+    distinct switch instead of one per query. The maps are
+    generation-checked against the graph: any applied event or
+    discovered link invalidates them, so answers are always identical
+    to a fresh {!Pathgraph.generate}. *)
+
+val distances : t -> from:switch_id -> (switch_id, int) Hashtbl.t
+(** The memoized BFS distance map from one switch (read-only). *)
+
+val invalidate_dist_cache : t -> unit
+(** Drop the memoized distance maps. Callers never need this for
+    correctness — generation checks already invalidate — but the
+    controller calls it on failure notices to keep the cache's
+    lifetime explicit in the logs. *)
+
+val dist_cache_stats : t -> int * int
+(** [(hits, misses)] of the distance cache since creation. *)

@@ -1,0 +1,235 @@
+(** `bench perf`: microbenchmarks of the fabric's hot paths — path-graph
+    computations/sec at the controller, simulated switch hops/sec, and
+    frame codec round-trips/sec — on a k=8 fat tree and a 64-switch
+    Jellyfish. Writes BENCH_PERF.json (current numbers next to the
+    committed pre-optimization baseline) so every future PR can see the
+    perf trajectory. With [quick] set (bench `perf --quick`), budgets
+    shrink and the run fails if any metric regresses more than
+    [max_regression] from the committed baseline. *)
+
+open Dumbnet_topology
+open Dumbnet_packet
+module Engine = Dumbnet_sim.Engine
+module Network = Dumbnet_sim.Network
+module Topo_store = Dumbnet_control.Topo_store
+module Rng = Dumbnet_util.Rng
+
+let quick = ref false
+
+let json_path = "BENCH_PERF.json"
+
+(* Pre-PR numbers: this benchmark run at the commit before the hot-path
+   overhaul (PR 2), same budgets and seeds, medians of runs interleaved
+   with post-PR runs on the same machine so load swings hit both sides
+   equally. "before" is the un-optimized implementation: per-query BFS
+   over freshly allocated adjacency lists, a tuple-keyed egress
+   Hashtbl, two engine events per hop, O(n) stamp appends. *)
+let before : (string * float) list =
+  [
+    ("pathgraph_per_sec_fat_tree_k8", 3596.);
+    ("pathgraph_per_sec_jellyfish_64", 6232.);
+    ("sim_hops_per_sec_fat_tree_k8", 596190.);
+    ("codec_roundtrips_per_sec", 348075.);
+  ]
+
+(* What CI's smoke job guards against: the committed post-optimization
+   numbers. A fresh run failing to reach [baseline / max_regression] on
+   any metric fails `bench perf --quick`. *)
+let committed : (string * float) list =
+  [
+    ("pathgraph_per_sec_fat_tree_k8", 24102.);
+    ("pathgraph_per_sec_jellyfish_64", 29668.);
+    ("sim_hops_per_sec_fat_tree_k8", 1150602.);
+    ("codec_roundtrips_per_sec", 428650.);
+  ]
+
+let max_regression =
+  match Sys.getenv_opt "DUMBNET_PERF_MAX_REGRESSION" with
+  | Some s -> (try float_of_string s with _ -> 2.0)
+  | None -> 2.0
+
+(* Run [f] repeatedly for ~[budget_s] wall seconds (after one warmup
+   call) and return calls/sec. [batch] amortizes the clock reads. *)
+let ops_per_sec ?(batch = 1) ~budget_s f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  let calls = ref 0 in
+  let elapsed = ref 0. in
+  while !elapsed < budget_s do
+    for _ = 1 to batch do
+      ignore (f ())
+    done;
+    calls := !calls + batch;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  float_of_int !calls /. !elapsed
+
+let budget_s () = if !quick then 0.2 else 1.0
+
+(* --- path-graph computations/sec ------------------------------------- *)
+
+(* A rotating set of host pairs, asked of a controller topo store the
+   way bootstrap_push and the query service ask: repeatedly, with many
+   queries sharing destination switches. *)
+let pathgraph_bench ~name built =
+  let store = Topo_store.create built.Builder.graph in
+  let rng = Rng.create 7 in
+  let hosts = Array.of_list built.Builder.hosts in
+  let n = Array.length hosts in
+  let pairs =
+    Array.init 32 (fun _ ->
+        let src = hosts.(Rng.int rng n) in
+        let rec other () =
+          let dst = hosts.(Rng.int rng n) in
+          if dst = src then other () else dst
+        in
+        (src, other ()))
+  in
+  let i = ref 0 in
+  let ops =
+    ops_per_sec ~budget_s:(budget_s ()) (fun () ->
+        let src, dst = pairs.(!i mod 32) in
+        incr i;
+        Topo_store.serve_path_graph store ~src ~dst)
+  in
+  (name, ops)
+
+(* --- simulated hops/sec ---------------------------------------------- *)
+
+(* Every host fires a burst of data frames along a precomputed source
+   route; we charge the wall-clock cost of draining the event queue to
+   the switch hops it performed. *)
+let sim_hops_bench ~name built ~frames_per_host =
+  let g = built.Builder.graph in
+  let rng = Rng.create 11 in
+  let hosts = Array.of_list built.Builder.hosts in
+  let n = Array.length hosts in
+  let routes =
+    Array.to_list hosts
+    |> List.filter_map (fun src ->
+           let rec pick_dst tries =
+             if tries = 0 then None
+             else
+               let dst = hosts.(Rng.int rng n) in
+               if dst = src then pick_dst (tries - 1)
+               else
+                 match Routing.host_route g ~src ~dst with
+                 | Some p -> Some (src, dst, Path.tags p)
+                 | None -> pick_dst (tries - 1)
+           in
+           pick_dst 5)
+  in
+  let payload = Payload.Data { flow = 0; seq = 0; size = 1000; sent_ns = 0 } in
+  let run_once () =
+    let eng = Engine.create () in
+    let net = Network.create ~engine:eng ~graph:g () in
+    List.iter (fun h -> Network.set_host_handler net h (fun _ -> ())) built.Builder.hosts;
+    List.iter
+      (fun (src, dst, tags_of) ->
+        for _ = 1 to frames_per_host do
+          Network.host_send net src (Frame.along_path ~src ~dst ~tags_of ~payload)
+        done)
+      routes;
+    Engine.run eng;
+    (Network.stats net).Network.switch_hops
+  in
+  let hops = ref 0 in
+  ignore (run_once ());
+  let t0 = Unix.gettimeofday () in
+  let elapsed = ref 0. in
+  while !elapsed < budget_s () do
+    hops := !hops + run_once ();
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  (name, float_of_int !hops /. !elapsed)
+
+(* --- codec round-trips/sec ------------------------------------------- *)
+
+let codec_bench ~name =
+  let stamp i =
+    { Int_stamp.switch = i; port = i + 1; queue_depth = 1000 * i; timestamp_ns = 5000 + i }
+  in
+  let frame =
+    Frame.along_path ~src:3 ~dst:9 ~tags_of:[ 2; 5; 1; 7; 3; 4 ]
+      ~payload:(Payload.Data { flow = 5; seq = 42; size = 1400; sent_ns = 1234 })
+  in
+  let frame = Frame.with_int frame in
+  let frame = List.fold_left (fun f i -> Frame.add_stamp (stamp i) f) frame [ 0; 1; 2; 3 ] in
+  let ops =
+    ops_per_sec ~batch:16 ~budget_s:(budget_s ()) (fun () -> Frame.of_bytes (Frame.to_bytes frame))
+  in
+  (name, ops)
+
+(* --- harness ---------------------------------------------------------- *)
+
+let assoc name l = try List.assoc name l with Not_found -> 0.
+
+let write_json results =
+  let oc = open_out json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"meta\": {\n";
+  p "    \"quick\": %b,\n" !quick;
+  p "    \"max_regression\": %.2f,\n" max_regression;
+  p "    \"topologies\": [\"fat_tree_k8\", \"jellyfish_64\"]\n";
+  p "  },\n";
+  p "  \"metrics\": [\n";
+  let rec rows = function
+    | [] -> ()
+    | (name, ops) :: rest ->
+      let b = assoc name before in
+      p "    {\"name\": \"%s\", \"before_ops_per_sec\": %.1f, \"ops_per_sec\": %.1f, \
+         \"speedup_vs_before\": %.2f}%s\n"
+        name b ops
+        (if b > 0. then ops /. b else 0.)
+        (if rest = [] then "" else ",");
+      rows rest
+  in
+  rows results;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+let run () =
+  Report.section ~id:"Perf" ~title:"hot-path microbenchmarks (BENCH_PERF.json)";
+  let ft8 = Builder.fat_tree ~k:8 () in
+  let jelly =
+    Builder.random_regular ~rng:(Rng.create 23) ~switches:64 ~degree:6 ~hosts_per_switch:1 ()
+  in
+  let results =
+    [
+      pathgraph_bench ~name:"pathgraph_per_sec_fat_tree_k8" ft8;
+      pathgraph_bench ~name:"pathgraph_per_sec_jellyfish_64" jelly;
+      sim_hops_bench ~name:"sim_hops_per_sec_fat_tree_k8" ft8 ~frames_per_host:20;
+      codec_bench ~name:"codec_roundtrips_per_sec";
+    ]
+  in
+  Report.table
+    ~headers:[ "metric"; "before (ops/s)"; "now (ops/s)"; "speedup" ]
+    (List.map
+       (fun (name, ops) ->
+         let b = assoc name before in
+         [
+           name;
+           Printf.sprintf "%.0f" b;
+           Printf.sprintf "%.0f" ops;
+           (if b > 0. then Printf.sprintf "%.2fx" (ops /. b) else "-");
+         ])
+       results);
+  write_json results;
+  Report.note (Printf.sprintf "wrote %s" json_path);
+  if !quick then begin
+    let failed =
+      List.filter
+        (fun (name, ops) ->
+          let base = assoc name committed in
+          base > 0. && ops < base /. max_regression)
+        results
+    in
+    List.iter
+      (fun (name, ops) ->
+        Printf.printf "PERF REGRESSION: %s at %.0f ops/s, committed baseline %.0f (>%.1fx slower)\n"
+          name ops (assoc name committed) max_regression)
+      failed;
+    if failed <> [] then exit 1
+  end

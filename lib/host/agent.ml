@@ -455,7 +455,7 @@ let handle_clean_payload t frame =
        (misrouted or a future one-way probe) is just dropped. *)
     if origin = t.self then (
       match t.int_probe_hook with
-      | Some f -> f ~seq ~sent_ns ~stamps:frame.Frame.int_stamps
+      | Some f -> f ~seq ~sent_ns ~stamps:(Frame.int_stamps frame)
       | None -> ())
 
 (* A probe with leftover tags: reply along them (§4.1). *)
@@ -482,8 +482,8 @@ let receive t (frame : Frame.t) =
   (* Any stamped frame feeds the collector, whatever its payload: data,
      probes and even control traffic all report on the path they took. *)
   (match t.stamp_hook with
-  | Some f when frame.Frame.int_stamps <> [] ->
-    f ~src:(src_host frame) ~stamps:frame.Frame.int_stamps
+  | Some f when Frame.stamp_count frame > 0 ->
+    f ~src:(src_host frame) ~stamps:(Frame.int_stamps frame)
   | Some _ | None -> ());
   if frame.Frame.ethertype = Frame.ethertype_notice then begin
     match frame.Frame.payload with

@@ -45,11 +45,12 @@ let flood_peers_of t h =
   match Graph.host_location g h with
   | None -> []
   | Some loc ->
+    let adj = Graph.adjacency g in
     let ring0 = [ loc.sw ] in
-    let ring1 = List.map (fun (_, sw, _) -> sw) (Graph.switch_neighbors g loc.sw) in
+    let ring1 = List.map (fun (_, sw, _) -> sw) (Adjacency.neighbors adj loc.sw) in
     let ring2 =
       List.concat_map
-        (fun sw -> List.map (fun (_, z, _) -> z) (Graph.switch_neighbors g sw))
+        (fun sw -> List.map (fun (_, z, _) -> z) (Adjacency.neighbors adj sw))
         ring1
     in
     let seen = Hashtbl.create 16 in
@@ -118,11 +119,12 @@ let probe_new_link t le =
       | None -> ()
       | Some route_to_sw -> (
         (* Forward tags to the switch, and its reverse back to us. *)
+        let snap = Graph.adjacency g in
         let rec ports acc = function
           | [] | [ _ ] -> Some (List.rev acc)
           | a :: (b :: _ as rest) -> (
             match
-              List.find_opt (fun (_, peer, _) -> peer = b) (Graph.switch_neighbors g a)
+              List.find_opt (fun (_, peer, _) -> peer = b) (Adjacency.neighbors snap a)
             with
             | Some (out, _, _) -> ports (out :: acc) rest
             | None -> None)
@@ -155,7 +157,16 @@ let probe_new_link t le =
 
 let on_event t event =
   match Topo_store.apply_event t.store event with
-  | Topo_store.Applied -> flush_patch t
+  | Topo_store.Applied ->
+    (* The graph mutation already made the memoized distance maps
+       stale (generation mismatch); dropping them here keeps the
+       cache's lifetime visible and the log line honest. *)
+    Topo_store.invalidate_dist_cache t.store;
+    let hits, misses = Topo_store.dist_cache_stats t.store in
+    Log.debug (fun m ->
+        m "controller H%d: distance cache invalidated (lifetime %d hits / %d misses)"
+          (Agent.self t.agent) hits misses);
+    flush_patch t
   | Topo_store.Ignored -> ()
   | Topo_store.Needs_probe le -> probe_new_link t le
 

@@ -23,19 +23,26 @@ type t = {
   ecn : bool;
   priority : priority;
   int_enabled : bool;
-  int_stamps : Int_stamp.t list;
+  int_rev_stamps : Int_stamp.t list; (* newest hop first — wire order reversed *)
+  int_count : int; (* = List.length int_rev_stamps, kept for O(1) sizing *)
   payload : Payload.t;
 }
+
+let int_stamps t = List.rev t.int_rev_stamps
+
+let stamp_count t = t.int_count
 
 let mark_ecn t = if t.ecn then t else { t with ecn = true }
 
 let with_int t = if t.int_enabled then t else { t with int_enabled = true }
 
 (* Append-one is the whole switch-side INT instruction set; a full
-   region forwards unstamped so the wire cost stays bounded. *)
+   region forwards unstamped so the wire cost stays bounded. Stamps are
+   consed newest-first so the per-hop cost is O(1) — the reversal to
+   wire order happens once, at encode/read time. *)
 let add_stamp stamp t =
-  if (not t.int_enabled) || List.length t.int_stamps >= Int_stamp.max_per_frame then t
-  else { t with int_stamps = t.int_stamps @ [ stamp ] }
+  if (not t.int_enabled) || t.int_count >= Int_stamp.max_per_frame then t
+  else { t with int_rev_stamps = stamp :: t.int_rev_stamps; int_count = t.int_count + 1 }
 
 let with_priority priority t = { t with priority }
 
@@ -66,7 +73,8 @@ let dumbnet ~src ~dst ~tags ~payload =
     ecn = false;
     priority = priority_of_payload payload;
     int_enabled = false;
-    int_stamps = [];
+    int_rev_stamps = [];
+    int_count = 0;
     payload;
   }
 
@@ -82,7 +90,8 @@ let notice ~origin ~event ~hops_left =
     ecn = false;
     priority = High;
     int_enabled = false;
-    int_stamps = [];
+    int_rev_stamps = [];
+    int_count = 0;
     payload = Payload.Port_notice { event; hops_left };
   }
 
@@ -95,7 +104,8 @@ let plain ~src ~dst ~payload =
     ecn = false;
     priority = priority_of_payload payload;
     int_enabled = false;
-    int_stamps = [];
+    int_rev_stamps = [];
+    int_count = 0;
     payload;
   }
 
@@ -104,8 +114,7 @@ let eth_header = 14 (* 2 x MAC + EtherType *)
 let fcs = 4
 
 let int_region_bytes t =
-  if t.int_enabled then 1 (* stamp count *) + (Int_stamp.wire_size * List.length t.int_stamps)
-  else 0
+  if t.int_enabled then 1 (* stamp count *) + (Int_stamp.wire_size * t.int_count) else 0
 
 let header_bytes t =
   eth_header + List.length t.tags + 1 (* ECN byte *) + int_region_bytes t + fcs
@@ -167,8 +176,8 @@ let to_bytes t =
      fixed-width stamps, appended hop by hop. *)
   if t.int_enabled then begin
     let w = Wire.Writer.create () in
-    Wire.Writer.u8 w (List.length t.int_stamps);
-    List.iter (Int_stamp.write w) t.int_stamps;
+    Wire.Writer.u8 w t.int_count;
+    List.iter (Int_stamp.write w) (int_stamps t);
     Buffer.add_bytes buf (Wire.Writer.contents w)
   end;
   let payload = Payload.encode t.payload in
@@ -223,8 +232,8 @@ let of_bytes b =
   let priority = if tos land 0x04 <> 0 then High else Normal in
   let int_enabled = tos land 0x08 <> 0 in
   incr pos;
-  let int_stamps =
-    if not int_enabled then []
+  let int_count, int_rev_stamps =
+    if not int_enabled then (0, [])
     else begin
       if !pos >= body_len then raise Wire.Truncated;
       let count = Char.code (Bytes.get b !pos) in
@@ -235,7 +244,7 @@ let of_bytes b =
       let r = Wire.Reader.of_bytes (Bytes.sub b !pos region) in
       let stamps = List.init count (fun _ -> Int_stamp.read r) in
       pos := !pos + region;
-      stamps
+      (count, List.rev stamps)
     end
   in
   if !pos + 2 > body_len then raise Wire.Truncated;
@@ -243,14 +252,25 @@ let of_bytes b =
   pos := !pos + 2;
   if !pos + plen <> body_len then raise Wire.Truncated;
   let payload = Payload.decode (Bytes.sub b !pos plen) in
-  { dst; src; ethertype; tags = List.rev !tags; ecn; priority; int_enabled; int_stamps; payload }
+  {
+    dst;
+    src;
+    ethertype;
+    tags = List.rev !tags;
+    ecn;
+    priority;
+    int_enabled;
+    int_rev_stamps;
+    int_count;
+    payload;
+  }
 
 let equal a b =
   a.dst = b.dst && a.src = b.src && a.ethertype = b.ethertype && a.tags = b.tags
   && a.ecn = b.ecn && a.priority = b.priority
   && a.int_enabled = b.int_enabled
-  && List.length a.int_stamps = List.length b.int_stamps
-  && List.for_all2 Int_stamp.equal a.int_stamps b.int_stamps
+  && a.int_count = b.int_count
+  && List.for_all2 Int_stamp.equal a.int_rev_stamps b.int_rev_stamps
   && Payload.equal a.payload b.payload
 
 let pp_addr ppf = function

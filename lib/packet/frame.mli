@@ -43,9 +43,19 @@ type t = {
   priority : priority;
   int_enabled : bool;  (** TOS bit 3: switches append an {!Int_stamp} on
                            every pop while the region has room *)
-  int_stamps : Int_stamp.t list;  (** telemetry region, first hop first *)
+  int_rev_stamps : Int_stamp.t list;
+      (** telemetry region in reverse wire order (newest hop first), so
+          the per-hop append is a cons — read it through {!int_stamps} *)
+  int_count : int;  (** number of stamps, maintained so frame sizing
+                        never walks the stamp list *)
   payload : Payload.t;
 }
+
+val int_stamps : t -> Int_stamp.t list
+(** The telemetry region in wire order, first hop first. O(stamps). *)
+
+val stamp_count : t -> int
+(** O(1). *)
 
 val mark_ecn : t -> t
 

@@ -1,20 +1,93 @@
-module Heap = Dumbnet_util.Heap
+(* The pending-event queue is the simulator's hottest structure: every
+   switch hop pushes and pops at least one event. It is a binary
+   min-heap over three parallel arrays — unboxed int timestamps, unboxed
+   int tie-break sequence numbers (with the daemon flag in the low bit),
+   and the event closures — so a sift moves machine ints and one
+   pointer, allocates nothing, and never calls a comparison closure. *)
 
-type event = { daemon : bool; fn : unit -> unit }
+let dummy_fn () = ()
 
 type t = {
   mutable clock : int;
-  queue : (int, event) Heap.t;
+  mutable keys : int array; (* fire time, ns *)
+  mutable seqs : int array; (* (insertion order lsl 1) lor daemon bit *)
+  mutable fns : (unit -> unit) array;
+  mutable size : int;
+  mutable next_seq : int;
   mutable processed : int;
   mutable regular : int; (* pending non-daemon events *)
 }
 
-let create () = { clock = 0; queue = Heap.create ~compare; processed = 0; regular = 0 }
+let create () =
+  {
+    clock = 0;
+    keys = Array.make 16 0;
+    seqs = Array.make 16 0;
+    fns = Array.make 16 dummy_fn;
+    size = 0;
+    next_seq = 0;
+    processed = 0;
+    regular = 0;
+  }
 
 let now t = t.clock
 
+(* Order by time, then by insertion for FIFO among equal times (the
+   daemon bit rides below the insertion count, so it never reorders). *)
+let less t i j =
+  t.keys.(i) < t.keys.(j) || (t.keys.(i) = t.keys.(j) && t.seqs.(i) < t.seqs.(j))
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let f = t.fns.(i) in
+  t.fns.(i) <- t.fns.(j);
+  t.fns.(j) <- f
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && less t l i then l else i in
+  let smallest = if r < t.size && less t r smallest then r else smallest in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
+  end
+
+let grow t =
+  let cap = Array.length t.keys in
+  let new_cap = 2 * cap in
+  let keys = Array.make new_cap 0 in
+  let seqs = Array.make new_cap 0 in
+  let fns = Array.make new_cap dummy_fn in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.fns 0 fns 0 t.size;
+  t.keys <- keys;
+  t.seqs <- seqs;
+  t.fns <- fns
+
 let push t at ~daemon fn =
-  Heap.push t.queue at { daemon; fn };
+  if t.size = Array.length t.keys then grow t;
+  let i = t.size in
+  t.keys.(i) <- at;
+  t.seqs.(i) <- (t.next_seq lsl 1) lor if daemon then 1 else 0;
+  t.fns.(i) <- fn;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t i;
   if not daemon then t.regular <- t.regular + 1
 
 let schedule t ~delay_ns f =
@@ -34,28 +107,35 @@ let run ?until_ns ?max_events t =
   let continue = ref true in
   while !continue && !budget > 0 do
     (* Without a time bound, stop when only daemons remain. *)
-    if until_ns = None && t.regular = 0 then continue := false
-    else
-      match Heap.peek t.queue with
-      | None -> continue := false
-      | Some (at, _) -> (
-        match until_ns with
-        | Some limit when at > limit -> continue := false
-        | Some _ | None -> (
-          match Heap.pop t.queue with
-          | None -> continue := false
-          | Some (at, e) ->
-            t.clock <- max t.clock at;
-            t.processed <- t.processed + 1;
-            if not e.daemon then t.regular <- t.regular - 1;
-            decr budget;
-            e.fn ()))
+    if (until_ns = None && t.regular = 0) || t.size = 0 then continue := false
+    else begin
+      let at = t.keys.(0) in
+      match until_ns with
+      | Some limit when at > limit -> continue := false
+      | Some _ | None ->
+        let daemon = t.seqs.(0) land 1 = 1 in
+        let fn = t.fns.(0) in
+        t.size <- t.size - 1;
+        if t.size > 0 then begin
+          t.keys.(0) <- t.keys.(t.size);
+          t.seqs.(0) <- t.seqs.(t.size);
+          t.fns.(0) <- t.fns.(t.size);
+          t.fns.(t.size) <- dummy_fn;
+          sift_down t 0
+        end
+        else t.fns.(0) <- dummy_fn;
+        t.clock <- max t.clock at;
+        t.processed <- t.processed + 1;
+        if not daemon then t.regular <- t.regular - 1;
+        decr budget;
+        fn ()
+    end
   done;
   match until_ns with
   | Some limit when t.clock < limit && Option.is_none max_events -> t.clock <- limit
   | Some _ | None -> ()
 
-let pending t = Heap.size t.queue
+let pending t = t.size
 
 let pending_regular t = t.regular
 

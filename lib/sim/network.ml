@@ -52,11 +52,30 @@ type host_state = {
   out : egress;
 }
 
+(* What is cabled at a switch port, resolved once per wiring change so
+   the per-hop forwarding path never consults the graph's port tables.
+   Link up/down is NOT encoded here — state flaps are checked against
+   the graph, so failure churn does not invalidate these arrays. *)
+type link_target =
+  | T_empty
+  | T_host of host_id
+  | T_switch of switch_id * port (* peer switch and its ingress port *)
+
+(* Everything one forwarding decision needs, in one record found with a
+   single lookup per hop: egress state, cabling targets, and a
+   link-state reader sharing the graph's own port table. *)
+type sw_state = {
+  egress : egress array; (* per-port, index 0 unused *)
+  port_up : port -> bool;
+  mutable targets : link_target array;
+}
+
 type t = {
   eng : Engine.t;
   g : Graph.t;
   config : config;
-  ports : (switch_id * port, egress) Hashtbl.t;
+  switches : (switch_id, sw_state) Hashtbl.t;
+  mutable wiring_gen : int; (* Graph.wiring_generation the targets match *)
   hosts : (host_id, host_state) Hashtbl.t;
   monitors : (switch_id, Monitor.t) Hashtbl.t;
   stats : stats;
@@ -68,13 +87,34 @@ let graph t = t.g
 
 let stats t = t.stats
 
+let target_array g sw =
+  let n = Graph.ports_of g sw in
+  Array.init (n + 1) (fun p ->
+      if p = 0 then T_empty
+      else
+        match Graph.endpoint_at g { sw; port = p } with
+        | None -> T_empty
+        | Some (Host h) -> T_host h
+        | Some (Switch peer) -> (
+          match Graph.peer_port g { sw; port = p } with
+          | Some pe -> T_switch (peer, pe.port)
+          | None -> T_empty))
+
+let refresh_targets t =
+  let gen = Graph.wiring_generation t.g in
+  if gen <> t.wiring_gen then begin
+    Hashtbl.iter (fun sw ss -> ss.targets <- target_array t.g sw) t.switches;
+    t.wiring_gen <- gen
+  end
+
 let create ?(config = default_config) ~engine:eng ~graph:g () =
   let t =
     {
       eng;
       g;
       config;
-      ports = Hashtbl.create 256;
+      switches = Hashtbl.create 256;
+      wiring_gen = Graph.wiring_generation g - 1; (* force the first build *)
       hosts = Hashtbl.create 256;
       monitors = Hashtbl.create 64;
       stats =
@@ -90,38 +130,37 @@ let create ?(config = default_config) ~engine:eng ~graph:g () =
         };
     }
   in
+  let fresh_egress () =
+    {
+      bandwidth_gbps = config.bandwidth_gbps;
+      busy_until = 0;
+      high_busy_until = 0;
+      packets = 0;
+      bytes = 0;
+    }
+  in
   List.iter
     (fun sw ->
       Hashtbl.replace t.monitors sw (Monitor.create ~self:sw ());
-      for p = 1 to Graph.ports_of g sw do
-        Hashtbl.replace t.ports (sw, p)
-          {
-            bandwidth_gbps = config.bandwidth_gbps;
-            busy_until = 0;
-            high_busy_until = 0;
-            packets = 0;
-            bytes = 0;
-          }
-      done)
+      Hashtbl.replace t.switches sw
+        {
+          egress = Array.init (Graph.ports_of g sw + 1) (fun _ -> fresh_egress ());
+          port_up = Graph.port_state_fn g sw;
+          targets = [||];
+        })
     (Graph.switch_ids g);
   List.iter
     (fun h ->
       Hashtbl.replace t.hosts h
-        {
-          nic = Nic.Dumbnet_agent;
-          handler = None;
-          next_tx = 0;
-          out =
-            {
-              bandwidth_gbps = config.bandwidth_gbps;
-              busy_until = 0;
-              high_busy_until = 0;
-              packets = 0;
-              bytes = 0;
-            };
-        })
+        { nic = Nic.Dumbnet_agent; handler = None; next_tx = 0; out = fresh_egress () })
     (Graph.host_ids g);
+  refresh_targets t;
   t
+
+let egress_opt t sw p =
+  match Hashtbl.find_opt t.switches sw with
+  | Some ss when p >= 1 && p < Array.length ss.egress -> Some ss.egress.(p)
+  | Some _ | None -> None
 
 let host_state t h =
   match Hashtbl.find_opt t.hosts h with
@@ -133,21 +172,44 @@ let set_host_handler t h f = (host_state t h).handler <- Some f
 let set_host_nic t h mode = (host_state t h).nic <- mode
 
 let set_port_bandwidth t le ~gbps =
-  match Hashtbl.find_opt t.ports (le.sw, le.port) with
+  match egress_opt t le.sw le.port with
   | Some e -> e.bandwidth_gbps <- gbps
   | None -> invalid_arg "Network.set_port_bandwidth: unknown port"
 
 let monitor t sw = Hashtbl.find t.monitors sw
 
 let port_counters t le =
-  match Hashtbl.find_opt t.ports (le.sw, le.port) with
+  match egress_opt t le.sw le.port with
   | Some e -> (e.packets, e.bytes)
   | None -> invalid_arg "Network.port_counters: unknown port"
 
+(* Top-N selection over a size-[top] min-heap instead of sorting every
+   port: O(P log top) and no intermediate list of all ports. *)
 let busiest_ports t ~top =
-  Hashtbl.fold (fun (sw, port) e acc -> ({ sw; port }, e.bytes) :: acc) t.ports []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
-  |> List.filteri (fun i _ -> i < top)
+  if top <= 0 then []
+  else begin
+    let module H = Dumbnet_util.Heap in
+    let h = H.create ~compare in
+    Hashtbl.iter
+      (fun sw ss ->
+        for port = 1 to Array.length ss.egress - 1 do
+          let bytes = ss.egress.(port).bytes in
+          if H.size h < top then H.push h bytes { sw; port }
+          else
+            match H.peek h with
+            | Some (least, _) when bytes > least ->
+              ignore (H.pop h);
+              H.push h bytes { sw; port }
+            | Some _ | None -> ()
+        done)
+      t.switches;
+    let rec drain acc =
+      match H.pop h with
+      | Some (bytes, le) -> drain ((le, bytes) :: acc)
+      | None -> acc
+    in
+    drain []
+  end
 
 let serialization_ns egress ~bytes =
   int_of_float (Float.of_int (bytes * 8) /. egress.bandwidth_gbps)
@@ -159,7 +221,7 @@ let backlog_bytes egress ~now =
   int_of_float (Float.of_int backlog_ns *. egress.bandwidth_gbps /. 8.)
 
 let queue_backlog_bytes t le =
-  match Hashtbl.find_opt t.ports (le.sw, le.port) with
+  match egress_opt t le.sw le.port with
   | Some e -> backlog_bytes e ~now:(Engine.now t.eng)
   | None -> invalid_arg "Network.queue_backlog_bytes: unknown port"
 
@@ -168,8 +230,12 @@ let queue_backlog_bytes t le =
    queue drains and deliver after propagation. High-priority frames only
    wait for the high lane — strict priority, approximated with two
    virtual clocks. *)
-let transmit t egress frame ~deliver =
+let transmit t egress frame ?(extra_delay_ns = 0) ~deliver () =
   let now = Engine.now t.eng in
+  (* The wire size is needed for queue accounting, serialization and
+     delivery stats; walk the frame once and thread the result through
+     [deliver]. ECN marking below does not change the size (the TOS
+     byte is always present). *)
   let bytes = Frame.byte_size frame in
   let lane_until =
     match frame.Frame.priority with
@@ -198,65 +264,76 @@ let transmit t egress frame ~deliver =
       (* Normal traffic also waits behind the high lane. *)
       egress.busy_until <- max egress.busy_until finish
     | Frame.Normal -> egress.busy_until <- finish);
-    Engine.schedule_at t.eng ~at_ns:(finish + t.config.propagation_ns) (fun () -> deliver frame)
+    Engine.schedule_at t.eng ~at_ns:(finish + t.config.propagation_ns + extra_delay_ns)
+      (fun () -> deliver frame ~bytes)
   end
 
-let deliver_to_host t h frame =
+let deliver_to_host t h frame ~bytes =
   let hs = host_state t h in
   let delay =
-    Nic.rx_latency_ns hs.nic
-    + (Nic.int_parse_ns hs.nic * List.length frame.Frame.int_stamps)
+    Nic.rx_latency_ns hs.nic + (Nic.int_parse_ns hs.nic * Frame.stamp_count frame)
   in
   Engine.schedule t.eng ~delay_ns:delay (fun () ->
       t.stats.host_rx <- t.stats.host_rx + 1;
-      t.stats.bytes_delivered <- t.stats.bytes_delivered + Frame.byte_size frame;
+      t.stats.bytes_delivered <- t.stats.bytes_delivered + bytes;
       match hs.handler with
       | Some f -> f frame
       | None -> ())
 
-let rec switch_receive t sw ~in_port frame =
-  Engine.schedule t.eng ~delay_ns:t.config.switch_latency_ns (fun () ->
-      t.stats.switch_hops <- t.stats.switch_hops + 1;
-      let num_ports = Graph.ports_of t.g sw in
-      let port_up p = Graph.link_up t.g { sw; port = p } in
-      (* The INT stamp source: the very values this port's hardware
-         already holds (its clock, the egress backlog the ECN/drop logic
-         reads), packaged per forwarding decision. *)
-      let stamp p =
-        let now = Engine.now t.eng in
-        let queue_depth =
-          match Hashtbl.find_opt t.ports (sw, p) with
-          | Some e -> backlog_bytes e ~now
-          | None -> 0
-        in
-        { Dumbnet_packet.Int_stamp.switch = sw; port = p; queue_depth; timestamp_ns = now }
+(* The switch's forwarding decision, running at the frame's arrival
+   time plus the switch latency. Callers fold that latency into the
+   schedule that delivers the frame here (one engine event per hop, not
+   two) — [Engine.now] already reads arrival + switch_latency. *)
+let rec switch_process t sw ~in_port frame =
+  t.stats.switch_hops <- t.stats.switch_hops + 1;
+  match Hashtbl.find_opt t.switches sw with
+  | None -> t.stats.dataplane_drops <- t.stats.dataplane_drops + 1
+  | Some ss -> (
+    refresh_targets t;
+    let num_ports = Array.length ss.egress - 1 in
+    (* The INT stamp source: the very values this port's hardware
+       already holds (its clock, the egress backlog the ECN/drop logic
+       reads), packaged per forwarding decision. *)
+    let stamp p =
+      let now = Engine.now t.eng in
+      let queue_depth =
+        if p >= 1 && p < Array.length ss.egress then backlog_bytes ss.egress.(p) ~now else 0
       in
-      match Dataplane.handle ~self:sw ~num_ports ~port_up ~stamp ~in_port frame with
-      | Dataplane.Drop _ -> t.stats.dataplane_drops <- t.stats.dataplane_drops + 1
-      | Dataplane.Forward (p, frame') ->
-        if List.length frame'.Frame.int_stamps > List.length frame.Frame.int_stamps then
-          t.stats.int_stamped <- t.stats.int_stamped + 1;
-        emit_from_switch t sw p frame'
-      | Dataplane.Flood frame' ->
-        List.iter
-          (fun (p, _) -> if p <> in_port then emit_from_switch t sw p frame')
-          (Graph.neighbors t.g sw))
+      { Dumbnet_packet.Int_stamp.switch = sw; port = p; queue_depth; timestamp_ns = now }
+    in
+    match Dataplane.handle ~self:sw ~num_ports ~port_up:ss.port_up ~stamp ~in_port frame with
+    | Dataplane.Drop _ -> t.stats.dataplane_drops <- t.stats.dataplane_drops + 1
+    | Dataplane.Forward (p, frame') ->
+      if Frame.stamp_count frame' > Frame.stamp_count frame then
+        t.stats.int_stamped <- t.stats.int_stamped + 1;
+      emit t ss p frame'
+    | Dataplane.Flood frame' -> flood t ss ~except:in_port frame')
 
-and emit_from_switch t sw p frame =
-  let le = { sw; port = p } in
-  if Graph.link_up t.g le then begin
-    let egress = Hashtbl.find t.ports (sw, p) in
-    match Graph.endpoint_at t.g le with
-    | Some (Host h) -> transmit t egress frame ~deliver:(deliver_to_host t h)
-    | Some (Switch peer) ->
-      let peer_end =
-        match Graph.peer_port t.g le with
-        | Some pe -> pe
-        | None -> assert false
-      in
-      transmit t egress frame ~deliver:(fun f -> switch_receive t peer ~in_port:peer_end.port f)
-    | None -> ()
-  end
+and emit t ss p frame =
+  if p >= 1 && p < Array.length ss.egress && ss.port_up p then
+    match ss.targets.(p) with
+    | T_empty -> ()
+    | T_host h ->
+      transmit t ss.egress.(p) frame ~deliver:(fun f ~bytes -> deliver_to_host t h f ~bytes) ()
+    | T_switch (peer, peer_in) ->
+      transmit t ss.egress.(p) frame ~extra_delay_ns:t.config.switch_latency_ns
+        ~deliver:(fun f ~bytes:_ -> switch_process t peer ~in_port:peer_in f)
+        ()
+
+(* Emit on every cabled port but [except], increasing port order — the
+   target array already knows what is cabled where, so flooding never
+   rebuilds a neighbor list. Down links are filtered per-port by
+   [emit], matching the old [Graph.neighbors] walk. *)
+and flood t ss ~except frame =
+  for p = 1 to Array.length ss.targets - 1 do
+    if p <> except && ss.targets.(p) <> T_empty then emit t ss p frame
+  done
+
+let flood_from t sw ~except frame =
+  refresh_targets t;
+  match Hashtbl.find_opt t.switches sw with
+  | None -> ()
+  | Some ss -> flood t ss ~except frame
 
 let host_send t h frame =
   let hs = host_state t h in
@@ -272,7 +349,9 @@ let host_send t h frame =
       let depart = start + Nic.tx_latency_ns hs.nic in
       Engine.schedule_at t.eng ~at_ns:depart (fun () ->
           if Graph.link_up t.g loc then
-            transmit t hs.out frame ~deliver:(fun f -> switch_receive t loc.sw ~in_port:loc.port f))
+            transmit t hs.out frame ~extra_delay_ns:t.config.switch_latency_ns
+              ~deliver:(fun f ~bytes:_ -> switch_process t loc.sw ~in_port:loc.port f)
+              ())
     end
 
 (* A link transition fires both ends' hardware monitors; unsuppressed
@@ -285,10 +364,7 @@ let port_transition t le ~up =
     | Some mon -> (
       match Monitor.on_port_event mon ~now_ns:(Engine.now t.eng) ~port:le.port ~up with
       | None -> ()
-      | Some notice ->
-        List.iter
-          (fun (p, _) -> if p <> le.port then emit_from_switch t le.sw p notice)
-          (Graph.neighbors t.g le.sw))
+      | Some notice -> flood_from t le.sw ~except:le.port notice)
   in
   let other = Graph.peer_port t.g le in
   (* State must change before monitors emit so notices don't cross the
@@ -300,7 +376,7 @@ let port_transition t le ~up =
   | None -> ()
 
 let add_link t a b =
-  if not (Hashtbl.mem t.ports (a.sw, a.port) && Hashtbl.mem t.ports (b.sw, b.port)) then
+  if not (egress_opt t a.sw a.port <> None && egress_opt t b.sw b.port <> None) then
     invalid_arg "Network.add_link: unknown port";
   Graph.connect t.g a b;
   (* Both ends see the port come up. *)
@@ -310,10 +386,7 @@ let add_link t a b =
     | Some mon -> (
       match Monitor.on_port_event mon ~now_ns:(Engine.now t.eng) ~port:le.port ~up:true with
       | None -> ()
-      | Some notice ->
-        List.iter
-          (fun (p, _) -> if p <> le.port then emit_from_switch t le.sw p notice)
-          (Graph.neighbors t.g le.sw))
+      | Some notice -> flood_from t le.sw ~except:le.port notice)
   in
   fire a;
   fire b

@@ -1,0 +1,109 @@
+open Types
+
+type t = {
+  generation : int;
+  ids : switch_id array; (* compact index -> switch id, ascending *)
+  index : (switch_id, int) Hashtbl.t; (* switch id -> compact index *)
+  row : int array; (* length n+1: row.(i)..row.(i+1)-1 are i's edges *)
+  out_port : int array;
+  peer_idx : int array; (* compact index of the peer, -1 if unknown *)
+  peer_port : int array;
+  nbr : (port * switch_id * port) list array; (* prebuilt, port order *)
+}
+
+let generation t = t.generation
+
+let num_switches t = Array.length t.ids
+
+let num_edges t = t.row.(Array.length t.ids)
+
+let index_of t sw = Hashtbl.find_opt t.index sw
+
+let id_of t i = t.ids.(i)
+
+let build ~generation per_switch =
+  let n = List.length per_switch in
+  let ids = Array.make n 0 in
+  let index = Hashtbl.create ((2 * n) + 1) in
+  List.iteri
+    (fun i (sw, _) ->
+      ids.(i) <- sw;
+      Hashtbl.replace index sw i)
+    per_switch;
+  let row = Array.make (n + 1) 0 in
+  List.iteri (fun i (_, l) -> row.(i + 1) <- List.length l) per_switch;
+  for i = 1 to n do
+    row.(i) <- row.(i) + row.(i - 1)
+  done;
+  let m = row.(n) in
+  let out_port = Array.make m 0 in
+  let peer_idx = Array.make m (-1) in
+  let peer_port = Array.make m 0 in
+  let nbr = Array.make n [] in
+  List.iteri
+    (fun i (_, l) ->
+      nbr.(i) <- l;
+      List.iteri
+        (fun j (out, peer, pin) ->
+          let e = row.(i) + j in
+          out_port.(e) <- out;
+          (match Hashtbl.find_opt index peer with
+          | Some k -> peer_idx.(e) <- k
+          | None -> ());
+          peer_port.(e) <- pin)
+        l)
+    per_switch;
+  { generation; ids; index; row; out_port; peer_idx; peer_port; nbr }
+
+let neighbors t sw =
+  match Hashtbl.find_opt t.index sw with
+  | Some i -> t.nbr.(i)
+  | None -> []
+
+let fn t sw = neighbors t sw
+
+let degree t sw =
+  match Hashtbl.find_opt t.index sw with
+  | Some i -> t.row.(i + 1) - t.row.(i)
+  | None -> 0
+
+let iter_neighbors t sw f =
+  match Hashtbl.find_opt t.index sw with
+  | None -> ()
+  | Some i ->
+    for e = t.row.(i) to t.row.(i + 1) - 1 do
+      let k = t.peer_idx.(e) in
+      if k >= 0 then f ~out:t.out_port.(e) ~peer:t.ids.(k) ~peer_in:t.peer_port.(e)
+    done
+
+(* BFS over the int arrays, then materialized as the (switch -> hops)
+   table the routing layer consumes — the table build is O(reached),
+   dwarfed by what the array traversal saves over closure adjacency. *)
+let bfs_distances t ~from =
+  let n = Array.length t.ids in
+  let result = Hashtbl.create ((2 * n) + 1) in
+  match Hashtbl.find_opt t.index from with
+  | None -> result
+  | Some start ->
+    let dist = Array.make n (-1) in
+    let queue = Array.make n 0 in
+    dist.(start) <- 0;
+    queue.(0) <- start;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let i = queue.(!head) in
+      incr head;
+      let d = dist.(i) + 1 in
+      for e = t.row.(i) to t.row.(i + 1) - 1 do
+        let k = t.peer_idx.(e) in
+        if k >= 0 && dist.(k) < 0 then begin
+          dist.(k) <- d;
+          queue.(!tail) <- k;
+          incr tail
+        end
+      done
+    done;
+    for i = 0 to n - 1 do
+      if dist.(i) >= 0 then Hashtbl.replace result t.ids.(i) dist.(i)
+    done;
+    result

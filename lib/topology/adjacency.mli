@@ -1,0 +1,52 @@
+(** Compact CSR-style snapshot of a graph's up switch-to-switch
+    adjacency.
+
+    The hot paths — BFS for path-graph generation, Dijkstra for backup
+    routes, Yen's spur scans — previously re-walked the graph's port
+    tables and allocated a fresh neighbor list per visit. A snapshot
+    packs the same adjacency into int arrays once, and additionally
+    pre-builds the per-switch [(out, peer, peer_in)] lists so the
+    {!Path.adjacency} closure interface stays allocation-free per call.
+
+    Snapshots are generation-stamped: {!Graph.adjacency} rebuilds one
+    only when the graph has mutated since (see {!Graph.generation}). A
+    snapshot is immutable — mutate the graph, not the snapshot. *)
+
+open Types
+
+type t
+
+val build : generation:int -> (switch_id * (port * switch_id * port) list) list -> t
+(** [build ~generation per_switch] packs the per-switch up-neighbor
+    lists (ascending switch id, port order within each list) into a
+    snapshot. Normally called by {!Graph.adjacency}, not directly. *)
+
+val generation : t -> int
+(** The graph generation this snapshot was built from. *)
+
+val num_switches : t -> int
+
+val num_edges : t -> int
+(** Directed edge slots: each up cable counts once per direction. *)
+
+val index_of : t -> switch_id -> int option
+(** Compact index of a switch, [None] if unknown to the snapshot. *)
+
+val id_of : t -> int -> switch_id
+
+val neighbors : t -> switch_id -> (port * switch_id * port) list
+(** O(1): the prebuilt list, in increasing port order. [[]] for unknown
+    switches (matching {!Graph.switch_neighbors} on an empty view). *)
+
+val fn : t -> switch_id -> (port * switch_id * port) list
+(** The snapshot as a {!Path.adjacency}-shaped function. *)
+
+val degree : t -> switch_id -> int
+
+val iter_neighbors :
+  t -> switch_id -> (out:port -> peer:switch_id -> peer_in:port -> unit) -> unit
+(** Array-walk iteration, no list involved. *)
+
+val bfs_distances : t -> from:switch_id -> (switch_id, int) Hashtbl.t
+(** Hop distances from [from] over the snapshot, same contract as
+    {!Routing.bfs_distances} but computed on int arrays. *)

@@ -13,16 +13,40 @@ type t = {
   hosts : (host_id, link_end option ref) Hashtbl.t;
   mutable next_switch : int;
   mutable next_host : int;
+  mutable generation : int; (* bumped on any mutation, incl. link state *)
+  mutable wiring_generation : int; (* bumped only when cabling changes *)
+  mutable adj_cache : Adjacency.t option;
 }
 
 let create () =
-  { switches = Hashtbl.create 64; hosts = Hashtbl.create 64; next_switch = 0; next_host = 0 }
+  {
+    switches = Hashtbl.create 64;
+    hosts = Hashtbl.create 64;
+    next_switch = 0;
+    next_host = 0;
+    generation = 0;
+    wiring_generation = 0;
+    adj_cache = None;
+  }
+
+let generation t = t.generation
+
+let wiring_generation t = t.wiring_generation
+
+let touch t =
+  t.generation <- t.generation + 1;
+  t.adj_cache <- None
+
+let touch_wiring t =
+  touch t;
+  t.wiring_generation <- t.wiring_generation + 1
 
 let add_switch t ~ports =
   if ports <= 0 || ports > max_port then invalid_arg "Graph.add_switch: bad port count";
   let id = t.next_switch in
   t.next_switch <- id + 1;
   Hashtbl.replace t.switches id { ports = Array.make (ports + 1) None };
+  touch_wiring t;
   id
 
 let add_host t =
@@ -35,7 +59,8 @@ let add_switch_with_id t ~id ~ports =
   if ports <= 0 || ports > max_port then invalid_arg "Graph.add_switch_with_id: bad port count";
   if Hashtbl.mem t.switches id then invalid_arg "Graph.add_switch_with_id: id taken";
   Hashtbl.replace t.switches id { ports = Array.make (ports + 1) None };
-  t.next_switch <- max t.next_switch (id + 1)
+  t.next_switch <- max t.next_switch (id + 1);
+  touch_wiring t
 
 let add_host_with_id t ~id =
   if Hashtbl.mem t.hosts id then invalid_arg "Graph.add_host_with_id: id taken";
@@ -61,7 +86,8 @@ let connect t a b =
   check_free t a;
   check_free t b;
   (switch_exn t a.sw).ports.(a.port) <- Some { plug = To_switch b; up = true };
-  (switch_exn t b.sw).ports.(b.port) <- Some { plug = To_switch a; up = true }
+  (switch_exn t b.sw).ports.(b.port) <- Some { plug = To_switch a; up = true };
+  touch_wiring t
 
 let host_ref t h =
   match Hashtbl.find_opt t.hosts h with
@@ -73,7 +99,8 @@ let attach_host t h le =
   if !loc <> None then invalid_arg (Printf.sprintf "Graph: host %d already attached" h);
   check_free t le;
   (switch_exn t le.sw).ports.(le.port) <- Some { plug = To_host h; up = true };
-  loc := Some le
+  loc := Some le;
+  touch_wiring t
 
 let slot_at t le =
   match Hashtbl.find_opt t.switches le.sw with
@@ -85,10 +112,12 @@ let remove_link t le =
   | None -> ()
   | Some { plug = To_switch other; _ } ->
     (switch_exn t le.sw).ports.(le.port) <- None;
-    (switch_exn t other.sw).ports.(other.port) <- None
+    (switch_exn t other.sw).ports.(other.port) <- None;
+    touch_wiring t
   | Some { plug = To_host h; _ } ->
     (switch_exn t le.sw).ports.(le.port) <- None;
-    host_ref t h := None
+    host_ref t h := None;
+    touch_wiring t
 
 let num_switches t = Hashtbl.length t.switches
 
@@ -160,11 +189,34 @@ let link_up t le =
   | Some slot -> slot.up
   | None -> false
 
+let port_link_up t sw port =
+  match Hashtbl.find_opt t.switches sw with
+  | None -> false
+  | Some s -> (
+    if not (slot_in_range s port) then false
+    else
+      match s.ports.(port) with
+      | Some slot -> slot.up
+      | None -> false)
+
+(* The returned closure shares the switch's own port table, so it stays
+   current across link flaps and re-cabling of this switch — the graph
+   never reallocates a switch's slot array. *)
+let port_state_fn t sw =
+  let s = switch_exn t sw in
+  fun port ->
+    slot_in_range s port
+    &&
+    match s.ports.(port) with
+    | Some slot -> slot.up
+    | None -> false
+
 let set_link_state t le ~up =
   match slot_at t le with
   | None -> invalid_arg (Printf.sprintf "Graph.set_link_state: empty port S%d-%d" le.sw le.port)
   | Some slot -> (
     slot.up <- up;
+    touch t;
     match slot.plug with
     | To_switch other -> (
       match slot_at t other with
@@ -225,6 +277,17 @@ let equal a b =
   && host_ids a = host_ids b
   && List.for_all (fun sw -> slot_descr a sw = slot_descr b sw) ids_a
   && List.for_all (fun h -> host_location a h = host_location b h) (host_ids a)
+
+(* The CSR snapshot is the one adjacency the routing layer iterates; it
+   is rebuilt lazily, at most once per graph mutation. *)
+let adjacency t =
+  match t.adj_cache with
+  | Some a when Adjacency.generation a = t.generation -> a
+  | Some _ | None ->
+    let per_switch = List.map (fun sw -> (sw, switch_neighbors t sw)) (switch_ids t) in
+    let a = Adjacency.build ~generation:t.generation per_switch in
+    t.adj_cache <- Some a;
+    a
 
 let connected t =
   match switch_ids t with

@@ -78,6 +78,17 @@ val switch_neighbors : t -> switch_id -> (port * switch_id * port) list
 val link_up : t -> link_end -> bool
 (** [true] iff the port is cabled and the link is administratively up. *)
 
+val port_link_up : t -> switch_id -> port -> bool
+(** Same as {!link_up} without building a [link_end] — for per-hop
+    checks on the simulator's forwarding path. *)
+
+val port_state_fn : t -> switch_id -> port -> bool
+(** [port_state_fn t sw] is a reader equivalent to [port_link_up t sw]
+    with the switch lookup done once. The closure shares the graph's
+    own port table, so it stays current across link flaps and
+    re-cabling of this switch. Raises [Invalid_argument] for unknown
+    switches. *)
+
 val set_link_state : t -> link_end -> up:bool -> unit
 (** Marks the link at this port (both ends see it) up or down. Raises
     [Invalid_argument] on an empty port. *)
@@ -88,6 +99,23 @@ val links : t -> (link_end * endpoint * bool) list
 
 val switch_links : t -> (Link_key.t * bool) list
 (** Switch-to-switch cables with their state. *)
+
+(** {1 Snapshots and generations} *)
+
+val generation : t -> int
+(** Bumped on every mutation (cabling, hosts, link state). Cached
+    derived structures — {!Adjacency.t} snapshots, the controller's
+    BFS distance maps — compare generations to know when to rebuild. *)
+
+val wiring_generation : t -> int
+(** Bumped only when the cabling itself changes (connect, attach,
+    remove, new switch) — link up/down flaps leave it alone, so
+    port-indexed caches that ignore link state survive failure churn. *)
+
+val adjacency : t -> Adjacency.t
+(** The graph's up switch-to-switch adjacency as a CSR snapshot,
+    rebuilt only if the graph mutated since the last call. The snapshot
+    reflects this instant — do not hold it across mutations. *)
 
 (** {1 Whole-graph operations} *)
 

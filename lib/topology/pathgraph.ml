@@ -58,14 +58,30 @@ let default_s = 2
 
 let default_eps = 1
 
-let generate ?(s = default_s) ?(eps = default_eps) ?rng g ~src ~dst =
+let generate ?(s = default_s) ?(eps = default_eps) ?rng ?dist g ~src ~dst =
   if s <= 0 then invalid_arg "Pathgraph.generate: s must be positive";
   if eps < 0 then invalid_arg "Pathgraph.generate: eps must be non-negative";
   match (Graph.host_location g src, Graph.host_location g dst) with
   | None, _ | _, None -> None
   | Some src_loc, Some dst_loc -> (
-    let graph_adj sw = Graph.switch_neighbors g sw in
-    match Routing.shortest_route ?rng graph_adj ~src:src_loc.sw ~dst:dst_loc.sw with
+    let snap = Graph.adjacency g in
+    let graph_adj = Adjacency.fn snap in
+    (* All BFS runs go through [dist_from]: by default a fresh
+       array-BFS over the snapshot, but a caller (the controller) can
+       supply memoized tables shared across queries — the results are
+       identical because BFS distances are unique. *)
+    let dist_from =
+      match dist with
+      | Some f -> f
+      | None -> fun ~from -> Adjacency.bfs_distances snap ~from
+    in
+    let primary_route =
+      if src_loc.sw = dst_loc.sw then Some [ src_loc.sw ]
+      else
+        Routing.route_via_distances ?rng graph_adj ~src:src_loc.sw ~dst:dst_loc.sw
+          (dist_from ~from:dst_loc.sw)
+    in
+    match primary_route with
     | None -> None
     | Some route -> (
       match Path.of_route ~adj:graph_adj ~src ~src_loc ~dst ~dst_loc route with
@@ -86,8 +102,8 @@ let generate ?(s = default_s) ?(eps = default_eps) ?rng g ~src ~dst =
           let b_idx = min (!i + s) (len - 1) in
           let b = arr.(b_idx) in
           let window = b_idx - !i in
-          let da = Routing.bfs_distances graph_adj ~from:a in
-          let db = Routing.bfs_distances graph_adj ~from:b in
+          let da = dist_from ~from:a in
+          let db = dist_from ~from:b in
           Hashtbl.iter
             (fun x dxa ->
               match Hashtbl.find_opt db x with

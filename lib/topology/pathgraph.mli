@@ -15,12 +15,21 @@ val generate :
   ?s:int ->
   ?eps:int ->
   ?rng:Dumbnet_util.Rng.t ->
+  ?dist:(from:switch_id -> (switch_id, int) Hashtbl.t) ->
   Graph.t ->
   src:host_id ->
   dst:host_id ->
   t option
 (** Builds the path graph between two attached hosts ([s] defaults to 2,
-    [eps] to 1). [None] if either host is detached or unreachable. *)
+    [eps] to 1). [None] if either host is detached or unreachable.
+
+    [dist], when given, supplies the BFS distance table for a given
+    source switch in place of a fresh BFS — the controller passes its
+    memoized per-switch tables here so the O(hosts²) query pattern
+    shares them. The provider must return tables identical to
+    {!Routing.bfs_distances} on the current graph (stale tables produce
+    wrong path graphs — invalidate on every mutation), and the returned
+    tables are never written to. *)
 
 val src : t -> host_id
 

@@ -1,7 +1,11 @@
 open Types
 module Rng = Dumbnet_util.Rng
 
-let graph_adjacency g sw = Graph.switch_neighbors g sw
+(* The CSR snapshot's prebuilt lists make each call an index lookup
+   instead of a fresh walk over the switch's port table. The snapshot is
+   re-fetched per call (a generation compare) so the closure keeps
+   tracking a mutating graph, like the old direct view did. *)
+let graph_adjacency g sw = Adjacency.neighbors (Graph.adjacency g) sw
 
 let bfs_distances adj ~from =
   let dist = Hashtbl.create 64 in
@@ -61,14 +65,21 @@ let shortest_route ?rng adj ~src ~dst =
   end
 
 let filtered_adjacency ~banned_nodes ~banned_edges adj =
-  let edge_banned a b =
-    List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) banned_edges
-  in
+  (* Yen's inner loop queries this per edge per BFS visit: a hash set
+     over both orientations replaces the old linear scan of the ban
+     list. *)
+  let banned = Hashtbl.create ((2 * List.length banned_edges) + 1) in
+  List.iter
+    (fun (x, y) ->
+      Hashtbl.replace banned (x, y) ();
+      Hashtbl.replace banned (y, x) ())
+    banned_edges;
   fun sw ->
     if Switch_set.mem sw banned_nodes then []
     else
       List.filter
-        (fun (_, peer, _) -> (not (Switch_set.mem peer banned_nodes)) && not (edge_banned sw peer))
+        (fun (_, peer, _) ->
+          (not (Switch_set.mem peer banned_nodes)) && not (Hashtbl.mem banned (sw, peer)))
         (adj sw)
 
 let shortest_route_avoiding ?rng ~banned_nodes ~banned_edges adj ~src ~dst =

@@ -12,6 +12,19 @@ val graph_adjacency : Graph.t -> Path.adjacency
 val bfs_distances : Path.adjacency -> from:switch_id -> (switch_id, int) Hashtbl.t
 (** Hop distance from [from] to every reachable switch. *)
 
+val route_via_distances :
+  ?rng:Dumbnet_util.Rng.t ->
+  Path.adjacency ->
+  src:switch_id ->
+  dst:switch_id ->
+  (switch_id, int) Hashtbl.t ->
+  switch_id list option
+(** Walk from [src] toward [dst] given a distance-to-[dst] table (as
+    from [bfs_distances ~from:dst]) — the table must be treated as
+    read-only, so one BFS can serve many source switches (the
+    controller's distance cache relies on exactly this). Equivalent to
+    {!shortest_route} when the table is fresh. *)
+
 val shortest_route :
   ?rng:Dumbnet_util.Rng.t ->
   Path.adjacency ->

@@ -251,6 +251,83 @@ let test_store_patch_replay () =
   Alcotest.(check bool) "serves path graphs" true
     (Topo_store.serve_path_graph store ~src:0 ~dst:20 <> None)
 
+(* --- memoized routing: the distance cache must be invisible --- *)
+
+(* [serve_path_graph] answers through the store's memoized per-switch
+   BFS tables; a fresh [Pathgraph.generate] (no [~dist]) re-runs BFS
+   per query. Their wire forms must match exactly for every host pair —
+   through failures, restores and newly discovered cables — or the
+   cache is serving stale routes. Both sides get the same rng seed so
+   tie-breaks can't differ for non-cache reasons. *)
+let check_memoized_matches_fresh ~label store =
+  let g = Topo_store.graph store in
+  let hosts = Graph.host_ids g in
+  let wire = Option.map Pathgraph.to_wire in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then
+            let served = Topo_store.serve_path_graph ~rng:(Rng.create 42) store ~src ~dst in
+            let fresh = Pathgraph.generate ~rng:(Rng.create 42) g ~src ~dst in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %d->%d" label src dst)
+              true
+              (wire served = wire fresh))
+        hosts)
+    hosts
+
+let test_store_memoized_fail_restore () =
+  let b = Builder.fat_tree ~k:4 () in
+  let store = Topo_store.create b.Builder.graph in
+  let g = Topo_store.graph store in
+  check_memoized_matches_fresh ~label:"initial" store;
+  let hits, misses = Topo_store.dist_cache_stats store in
+  Alcotest.(check bool) "repeat queries hit the cache" true (hits > 0);
+  Alcotest.(check bool) "one miss per distinct switch" true
+    (misses <= Graph.num_switches g);
+  (* Fail a switch-to-switch link via the same event path the
+     controller uses for failure notices, then restore it. *)
+  let key, _ = List.hd (Graph.switch_links g) in
+  let le, _ = Link_key.ends key in
+  (match Topo_store.apply_event store { Payload.position = le; up = false; event_seq = 1 } with
+  | Topo_store.Applied -> ()
+  | _ -> Alcotest.fail "failure event should apply");
+  check_memoized_matches_fresh ~label:"after fail" store;
+  (match Topo_store.apply_event store { Payload.position = le; up = true; event_seq = 2 } with
+  | Topo_store.Applied -> ()
+  | _ -> Alcotest.fail "restore event should apply");
+  check_memoized_matches_fresh ~label:"after restore" store;
+  (* Explicit invalidation is allowed any time and changes nothing. *)
+  Topo_store.invalidate_dist_cache store;
+  check_memoized_matches_fresh ~label:"after invalidate" store
+
+let test_store_memoized_discovery () =
+  let b = fig1 () in
+  let store = Topo_store.create b.Builder.graph in
+  let g = Topo_store.graph store in
+  check_memoized_matches_fresh ~label:"pre-discovery" store;
+  (* Cable up two previously free ports through the store, as probe
+     discovery would, and make sure the cache notices the new edge. *)
+  let free_port sw =
+    let rec go p =
+      if p > Graph.ports_of g sw then None
+      else if Graph.endpoint_at g { sw; port = p } = None then Some { sw; port = p }
+      else go (p + 1)
+    in
+    go 1
+  in
+  let frees = List.filter_map free_port (Graph.switch_ids g) in
+  (match frees with
+  | a :: rest -> (
+    match List.find_opt (fun e -> e.sw <> a.sw) rest with
+    | Some b_end ->
+      Topo_store.record_discovered_link store a b_end;
+      Alcotest.(check bool) "patch pending" true (Topo_store.take_patch store <> None)
+    | None -> Alcotest.fail "fig1 should have free ports on two switches")
+  | [] -> Alcotest.fail "fig1 should have free ports");
+  check_memoized_matches_fresh ~label:"post-discovery" store
+
 (* --- replica --- *)
 
 let test_replica_commit_and_crash () =
@@ -345,6 +422,10 @@ let () =
           Alcotest.test_case "apply and patch" `Quick test_store_apply_and_patch;
           Alcotest.test_case "needs probe" `Quick test_store_needs_probe;
           Alcotest.test_case "patch replay" `Quick test_store_patch_replay;
+          Alcotest.test_case "memoized = fresh across fail/restore" `Quick
+            test_store_memoized_fail_restore;
+          Alcotest.test_case "memoized = fresh across discovery" `Quick
+            test_store_memoized_discovery;
         ] );
       ( "replica",
         [

@@ -60,7 +60,7 @@ let int_frame () =
 
 let test_frame_int_roundtrip () =
   let f = int_frame () in
-  check Alcotest.int "two stamps" 2 (List.length f.Frame.int_stamps);
+  check Alcotest.int "two stamps" 2 (Frame.stamp_count f);
   Alcotest.(check bool) "roundtrip" true (Frame.equal f (Frame.of_bytes (Frame.to_bytes f)));
   (* The region costs one count byte plus a fixed width per stamp. *)
   let bare = Frame.along_path ~src:1 ~dst:2 ~tags_of:[ 2; 5 ] ~payload:f.Frame.payload in
@@ -74,14 +74,14 @@ let test_add_stamp_requires_flag () =
       ~payload:(Payload.Data { flow = 0; seq = 0; sent_ns = 0; size = 10 })
   in
   let f' = Frame.add_stamp (stamp ()) f in
-  Alcotest.(check bool) "no flag, no stamp" true (f'.Frame.int_stamps = [])
+  Alcotest.(check bool) "no flag, no stamp" true (Frame.int_stamps f' = [])
 
 let test_add_stamp_saturates () =
   let f = ref (Frame.with_int (int_frame ())) in
   for i = 1 to 20 do
     f := Frame.add_stamp (stamp ~ts:(1000 + i) ()) !f
   done;
-  check Alcotest.int "capped" Int_stamp.max_per_frame (List.length !f.Frame.int_stamps);
+  check Alcotest.int "capped" Int_stamp.max_per_frame (Frame.stamp_count !f);
   (* A saturated region still round-trips. *)
   Alcotest.(check bool) "roundtrip" true
     (Frame.equal !f (Frame.of_bytes (Frame.to_bytes !f)))
@@ -138,8 +138,8 @@ let test_dataplane_stamps_on_pop () =
   with
   | Dumbnet.Switch.Dataplane.Forward (p, f') ->
     check Alcotest.int "tag consumed" 2 p;
-    check Alcotest.int "stamp appended" 3 (List.length f'.Frame.int_stamps);
-    let last = List.nth f'.Frame.int_stamps 2 in
+    check Alcotest.int "stamp appended" 3 (Frame.stamp_count f');
+    let last = List.nth (Frame.int_stamps f') 2 in
     Alcotest.(check bool) "egress stamped" true (Int_stamp.equal last (hw 2))
   | _ -> Alcotest.fail "expected Forward"
 
@@ -155,7 +155,7 @@ let test_dataplane_skips_unflagged () =
       ~in_port:1 f
   with
   | Dumbnet.Switch.Dataplane.Forward (_, f') ->
-    Alcotest.(check bool) "no stamp" true (f'.Frame.int_stamps = [])
+    Alcotest.(check bool) "no stamp" true (Frame.int_stamps f' = [])
   | _ -> Alcotest.fail "expected Forward"
 
 (* --- collector --- *)

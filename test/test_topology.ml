@@ -329,6 +329,107 @@ let reverse_roundtrip_prop =
           | None -> false
           | Some r -> Option.map (Path.equal p) (Path.reverse g r) = Some true))
 
+(* --- adjacency snapshots --- *)
+
+(* The CSR snapshot must be indistinguishable from asking the graph
+   directly, including neighbor order (port order), or memoized routing
+   would quietly diverge from fresh routing. *)
+let snapshot_agrees g =
+  let snap = Graph.adjacency g in
+  List.for_all
+    (fun sw -> Adjacency.neighbors snap sw = Graph.switch_neighbors g sw)
+    (Graph.switch_ids g)
+
+let test_adjacency_matches_graph () =
+  let b = Builder.fat_tree ~k:4 () in
+  let g = b.Builder.graph in
+  Alcotest.(check bool) "snapshot = switch_neighbors" true (snapshot_agrees g);
+  let snap = Graph.adjacency g in
+  check Alcotest.int "edge count symmetric"
+    (List.fold_left (fun acc sw -> acc + List.length (Graph.switch_neighbors g sw)) 0
+       (Graph.switch_ids g))
+    (Adjacency.num_edges snap);
+  Alcotest.(check bool) "unknown switch has no neighbors" true
+    (Adjacency.neighbors snap 9999 = [])
+
+let test_adjacency_cached_until_mutation () =
+  let b = Builder.leaf_spine ~leaves:3 ~spines:2 ~hosts_per_leaf:1 () in
+  let g = b.Builder.graph in
+  let s0 = Graph.adjacency g in
+  Alcotest.(check bool) "same generation, same snapshot" true (Graph.adjacency g == s0);
+  let le = { sw = List.hd (Graph.switch_ids g); port = 1 } in
+  Graph.set_link_state g le ~up:false;
+  let s1 = Graph.adjacency g in
+  Alcotest.(check bool) "mutation rebuilds" true (not (s1 == s0));
+  Alcotest.(check bool) "rebuilt snapshot agrees" true (snapshot_agrees g);
+  Graph.set_link_state g le ~up:true;
+  Alcotest.(check bool) "restore agrees too" true (snapshot_agrees g)
+
+let test_adjacency_bfs_matches_routing () =
+  let b = Builder.fat_tree ~k:4 () in
+  let g = b.Builder.graph in
+  let snap = Graph.adjacency g in
+  List.iter
+    (fun from ->
+      let via_snap = Adjacency.bfs_distances snap ~from in
+      let via_lists = Routing.bfs_distances (Routing.graph_adjacency g) ~from in
+      check Alcotest.int "same reach" (Hashtbl.length via_lists) (Hashtbl.length via_snap);
+      Hashtbl.iter
+        (fun sw d -> check Alcotest.int "same distance" d (Hashtbl.find via_snap sw))
+        via_lists)
+    (Graph.switch_ids g)
+
+(* Randomized churn: link flaps, cable removals and fresh cables, in
+   any order — after every mutation the snapshot must agree with the
+   graph it summarizes. *)
+let adjacency_under_mutation_prop =
+  QCheck.Test.make ~name:"adjacency snapshot agrees under randomized mutation" ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let b = Builder.random_regular ~rng:(Rng.split rng) ~switches:12 ~degree:3 ~hosts_per_switch:1 () in
+      let g = b.Builder.graph in
+      let switch_links () =
+        List.map fst (Graph.switch_links g)
+      in
+      let ok = ref (snapshot_agrees g) in
+      for _ = 1 to 30 do
+        (match Rng.int rng 4 with
+        | 0 | 1 -> (
+          (* flap a random cabled switch-switch link *)
+          match switch_links () with
+          | [] -> ()
+          | links ->
+            let key = Rng.pick rng links in
+            let le, _ = Types.Link_key.ends key in
+            Graph.set_link_state g le ~up:(Rng.int rng 2 = 0)
+          )
+        | 2 -> (
+          (* remove a cable outright *)
+          match switch_links () with
+          | [] -> ()
+          | links -> Graph.remove_link g (fst (Types.Link_key.ends (Rng.pick rng links))))
+        | _ -> (
+          (* cable two free ports together, if any exist *)
+          let free =
+            List.concat_map
+              (fun sw ->
+                List.filter_map
+                  (fun p ->
+                    if Graph.endpoint_at g { sw; port = p } = None then Some { sw; port = p }
+                    else None)
+                  (List.init (Graph.ports_of g sw) (fun i -> i + 1)))
+              (Graph.switch_ids g)
+          in
+          match free with
+          | a :: (_ :: _ as rest) ->
+            let other = Rng.pick rng rest in
+            if other.sw <> a.sw then Graph.connect g a other
+          | _ -> ()));
+        ok := !ok && snapshot_agrees g
+      done;
+      !ok)
+
 let () =
   Alcotest.run "topology"
     [
@@ -371,5 +472,12 @@ let () =
           Alcotest.test_case "validate rejects" `Quick test_path_validate_rejects;
           Alcotest.test_case "crosses" `Quick test_path_crosses;
           QCheck_alcotest.to_alcotest reverse_roundtrip_prop;
+        ] );
+      ( "adjacency",
+        [
+          Alcotest.test_case "matches graph" `Quick test_adjacency_matches_graph;
+          Alcotest.test_case "cached until mutation" `Quick test_adjacency_cached_until_mutation;
+          Alcotest.test_case "bfs matches routing" `Quick test_adjacency_bfs_matches_routing;
+          QCheck_alcotest.to_alcotest adjacency_under_mutation_prop;
         ] );
     ]

@@ -127,6 +127,41 @@ let heap_sort_prop =
       in
       drain [] = List.sort compare keys)
 
+(* Interleaved pushes and pops against a reference model: every pop
+   must return the element with the least (key, arrival) pair — i.e.
+   the heap stays a stable priority queue mid-stream, not only when
+   drained at the end. [Some k] pushes key k (value = arrival index),
+   [None] pops. *)
+let heap_interleaved_prop =
+  QCheck.Test.make ~name:"heap stable under interleaved push/pop" ~count:200
+    QCheck.(list (option small_int))
+    (fun ops ->
+      let h = Heap.create ~compare in
+      let model = ref [] (* (key, arrival), ascending *) in
+      let arrival = ref 0 in
+      let ok = ref true in
+      let pop_matches () =
+        match (Heap.pop h, !model) with
+        | None, [] -> ()
+        | Some (k, v), (mk, mv) :: rest ->
+          if k <> mk || v <> mv then ok := false;
+          model := rest
+        | Some _, [] | None, _ :: _ -> ok := false
+      in
+      List.iter
+        (function
+          | Some k ->
+            Heap.push h k !arrival;
+            model :=
+              List.merge compare !model [ (k, !arrival) ];
+            incr arrival
+          | None -> pop_matches ())
+        ops;
+      while not (Heap.is_empty h) do
+        pop_matches ()
+      done;
+      !ok && !model = [])
+
 (* --- stats --- *)
 
 let feq = Alcotest.float 1e-9
@@ -211,6 +246,7 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_on_ties;
           Alcotest.test_case "peek/size/clear" `Quick test_heap_peek_size;
           QCheck_alcotest.to_alcotest heap_sort_prop;
+          QCheck_alcotest.to_alcotest heap_interleaved_prop;
         ] );
       ( "stats",
         [
