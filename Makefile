@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt bench bench-perf clean
+.PHONY: all build test check lint fmt bench bench-perf clean
 
 all: build
 
@@ -8,9 +8,14 @@ build:
 test:
 	dune runtest
 
+# The static-analysis gate: parses every .ml under lib/, bin/ and
+# bench/ and enforces the fabric invariants (see DESIGN.md §8).
+lint:
+	dune exec bin/dumbnet_lint.exe -- --gate --waivers
+
 # What CI runs: a clean build with no warnings-as-errors surprises,
-# then the full test tree.
-check: build test
+# then the full test tree and the lint gate.
+check: build test lint
 
 # Formatting is advisory: ocamlformat is not pinned in the dev image,
 # so this target is best-effort and never fails the build.

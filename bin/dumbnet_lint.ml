@@ -1,0 +1,55 @@
+(* dumbnet-lint: static analysis of the project's own sources, enforcing
+   the fabric invariants documented in DESIGN.md §8.
+
+   Usage: dumbnet_lint [options] [dir ...]
+     --root DIR   repo root (default: auto-detected from cwd)
+     --gate       exit 1 on any error-severity finding (CI mode)
+     --json FILE  also write the JSON report to FILE
+     --waivers    list every waiver with its hit count and reason
+     --quiet      suppress per-finding output, print the summary only
+
+   With no directories given, lints lib/, bin/ and bench/. *)
+
+module Lint = Dumbnet_analysis.Lint
+module Rules = Dumbnet_analysis.Rules
+
+let usage = "dumbnet_lint [--root DIR] [--gate] [--json FILE] [--waivers] [--quiet] [dir ...]"
+
+let () =
+  let root = ref None in
+  let gate = ref false in
+  let json = ref None in
+  let list_waivers = ref false in
+  let quiet = ref false in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--root", Arg.String (fun s -> root := Some s), "DIR repo root (default: auto)");
+      ("--gate", Arg.Set gate, " exit 1 on any error-severity finding");
+      ("--json", Arg.String (fun s -> json := Some s), "FILE write the JSON report");
+      ("--waivers", Arg.Set list_waivers, " list waivers with hit counts and reasons");
+      ("--quiet", Arg.Set quiet, " print only the summary");
+    ]
+  in
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  let root =
+    match !root with
+    | Some r -> r
+    | None -> (
+      match Lint.find_root () with
+      | Some r -> r
+      | None ->
+        prerr_endline "dumbnet_lint: cannot find the repo root; pass --root";
+        exit 2)
+  in
+  let dirs = match List.rev !dirs with [] -> [ "lib"; "bin"; "bench" ] | ds -> ds in
+  let report = Lint.scan ~root ~dirs () in
+  if not !quiet then Lint.render_text Format.std_formatter report;
+  if !list_waivers then Lint.render_waivers Format.std_formatter report;
+  (match !json with Some path -> Lint.write_json report path | None -> ());
+  let errors = List.length (Lint.errors report) in
+  Printf.printf "dumbnet-lint: %d files, %d errors, %d advisories, %d waivers\n"
+    report.Lint.files_scanned errors
+    (List.length (Lint.advice report))
+    (List.length report.Lint.waivers);
+  if !gate && errors > 0 then exit 1

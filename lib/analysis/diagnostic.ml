@@ -1,0 +1,57 @@
+(* One lint finding. Errors gate the build; advice is printed but never
+   fails `dumbnet_lint --gate` — the advisory rules (R4) flag costs, not
+   bugs, and a cost can be the right trade. *)
+
+type severity =
+  | Error
+  | Advice
+
+type t = {
+  rule : string; (* "R1".."R6", "W1".."W3", "parse" *)
+  severity : severity;
+  file : string; (* repo-relative, '/'-separated *)
+  line : int; (* 1-based *)
+  col : int; (* 0-based, like the compiler *)
+  message : string;
+}
+
+let make ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message }
+
+let severity_label = function
+  | Error -> "error"
+  | Advice -> "advice"
+
+let compare_by_pos a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> Int.compare a.col b.col
+    | c -> c)
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d [%s] %s: %s" t.file t.line t.col t.rule
+    (severity_label t.severity) t.message
+
+(* Minimal JSON string escaping — the report holds file paths and plain
+   ASCII messages, so only the JSON structural characters matter. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","severity":"%s","message":"%s"}|}
+    (json_escape t.file) t.line t.col (json_escape t.rule)
+    (severity_label t.severity) (json_escape t.message)

@@ -1,0 +1,176 @@
+(* Driver for dumbnet-lint: file discovery, parsing (compiler-libs),
+   aggregation, the waiver budget, and report rendering. The library is
+   deliberately standalone — nothing under lib/ besides this directory
+   links compiler-libs, so the fabric binaries stay lean. *)
+
+type report = {
+  diagnostics : Diagnostic.t list; (* sorted by file/line/col *)
+  waivers : Rules.waiver list;
+  files_scanned : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_source ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  Parse.implementation lexbuf
+
+(* Lint one compilation unit given as a string; [file] is the
+   repo-relative path used for rule scoping and diagnostics. *)
+let lint_source ?config ~file source =
+  match parse_source ~file source with
+  | structure -> Rules.lint_structure ?config ~file structure
+  | exception exn ->
+    let line, col, msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok err) ->
+        let loc = err.Location.main.Location.loc in
+        ( loc.Location.loc_start.Lexing.pos_lnum,
+          loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol,
+          Format.asprintf "%a" Location.print_report err )
+      | Some `Already_displayed | None -> (1, 0, Printexc.to_string exn)
+    in
+    ( [
+        Diagnostic.make ~rule:"parse" ~severity:Diagnostic.Error ~file ~line ~col
+          (Printf.sprintf "cannot parse: %s" (String.trim msg));
+      ],
+      [] )
+
+let is_ml name = Filename.check_suffix name ".ml"
+
+let rec collect_ml_files root rel acc =
+  let abs = if rel = "" then root else Filename.concat root rel in
+  match Sys.is_directory abs with
+  | exception Sys_error _ -> acc
+  | false -> if is_ml rel then rel :: acc else acc
+  | true ->
+    let entries = Sys.readdir abs in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry = "_build" || entry = "lint_fixtures"
+        then acc
+        else
+          let child = if rel = "" then entry else rel ^ "/" ^ entry in
+          collect_ml_files root child acc)
+      acc entries
+
+(* Lint every .ml under [dirs] (repo-relative) below [root]. *)
+let scan ?(config = Rules.default_config) ~root ~dirs () =
+  let files =
+    List.concat_map (fun dir -> List.rev (collect_ml_files root dir [])) dirs
+  in
+  let diagnostics, waivers =
+    List.fold_left
+      (fun (ds, ws) file ->
+        let d, w = lint_source ~config ~file (read_file (Filename.concat root file)) in
+        (d @ ds, w @ ws))
+      ([], []) files
+  in
+  (* W2: the repo-wide waiver budget. Beyond it, stop waiving and start
+     fixing — the cap is what keeps waivers an escape hatch, not a
+     lifestyle. *)
+  let diagnostics =
+    if List.length waivers > config.Rules.max_waivers then
+      List.fold_left
+        (fun ds (w : Rules.waiver) ->
+          Diagnostic.make ~rule:"W2" ~severity:Diagnostic.Error ~file:w.Rules.w_file
+            ~line:w.Rules.w_line ~col:w.Rules.w_col
+            (Printf.sprintf "waiver budget exceeded: %d waivers, max %d"
+               (List.length waivers) config.Rules.max_waivers)
+          :: ds)
+        diagnostics
+        (List.filteri (fun i _ -> i >= config.Rules.max_waivers) waivers)
+    else diagnostics
+  in
+  {
+    diagnostics = List.sort Diagnostic.compare_by_pos diagnostics;
+    waivers;
+    files_scanned = List.length files;
+  }
+
+let errors report =
+  List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) report.diagnostics
+
+let advice report =
+  List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Advice) report.diagnostics
+
+(* Find the repo root: the nearest ancestor of [start] that holds the
+   real source tree. Build sandboxes are skipped so the lint always sees
+   the full checkout, even when invoked from inside _build. *)
+let find_root ?start () =
+  let start = match start with Some s -> s | None -> Sys.getcwd () in
+  let looks_like_root dir =
+    Sys.file_exists (Filename.concat dir "dune-project")
+    && Sys.file_exists (Filename.concat dir "lib/sim/engine.ml")
+    && Sys.file_exists (Filename.concat dir "bin/dumbnet_cli.ml")
+  in
+  let in_build dir =
+    List.mem "_build" (String.split_on_char '/' dir)
+  in
+  let rec up dir depth =
+    if depth > 16 then None
+    else if looks_like_root dir && not (in_build dir) then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent (depth + 1)
+  in
+  up start 0
+
+let render_text ppf report =
+  List.iter (fun d -> Format.fprintf ppf "%a@." Diagnostic.pp d) report.diagnostics
+
+let render_waivers ppf report =
+  if report.waivers = [] then Format.fprintf ppf "no waivers@."
+  else
+    List.iter
+      (fun (w : Rules.waiver) ->
+        Format.fprintf ppf "%s:%d:%d [@%s] hits=%d reason=%S@." w.Rules.w_file
+          w.Rules.w_line w.Rules.w_col
+          (Rules.waiver_kind_name w.Rules.w_kind)
+          w.Rules.w_hits w.Rules.w_reason)
+      report.waivers
+
+let waiver_json (w : Rules.waiver) =
+  Printf.sprintf {|{"file":"%s","line":%d,"col":%d,"kind":"%s","reason":"%s","hits":%d}|}
+    (Diagnostic.json_escape w.Rules.w_file)
+    w.Rules.w_line w.Rules.w_col
+    (Rules.waiver_kind_name w.Rules.w_kind)
+    (Diagnostic.json_escape w.Rules.w_reason)
+    w.Rules.w_hits
+
+let render_json report =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"files_scanned\": ";
+  Buffer.add_string buf (string_of_int report.files_scanned);
+  Buffer.add_string buf ",\n  \"errors\": ";
+  Buffer.add_string buf (string_of_int (List.length (errors report)));
+  Buffer.add_string buf ",\n  \"advice\": ";
+  Buffer.add_string buf (string_of_int (List.length (advice report)));
+  Buffer.add_string buf ",\n  \"diagnostics\": [";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    ";
+      Buffer.add_string buf (Diagnostic.to_json d))
+    report.diagnostics;
+  Buffer.add_string buf "\n  ],\n  \"waivers\": [";
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    ";
+      Buffer.add_string buf (waiver_json w))
+    report.waivers;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let write_json report path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render_json report))

@@ -27,10 +27,13 @@ let build g =
     Queue.add root q;
     while not (Queue.is_empty q) do
       let sw = Queue.pop q in
-      let d = Hashtbl.find depth sw in
-      (* Deterministic: neighbours in increasing port order, like the
-         lowest-port tie-break of the standard. *)
-      List.iter
+      (* Every queued switch was assigned a depth when first reached. *)
+      match Hashtbl.find_opt depth sw with
+      | None -> ()
+      | Some d ->
+        (* Deterministic: neighbours in increasing port order, like the
+           lowest-port tie-break of the standard. *)
+        List.iter
         (fun (out, peer, peer_in) ->
           if not (Hashtbl.mem depth peer) then begin
             Hashtbl.replace depth peer (d + 1);

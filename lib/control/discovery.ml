@@ -78,10 +78,18 @@ let register_host st ~origin h le =
 
 let port_free st le = Graph.endpoint_at st.model le = None
 
+(* Both route tables are written by [register_switch] before the switch
+   is ever queued for scanning; a miss means the BFS itself is broken. *)
+let routes_for st s =
+  match (Hashtbl.find_opt st.fwd s, Hashtbl.find_opt st.ret s) with
+  | Some f, Some r -> (f, r)
+  | None, _ | _, None ->
+    invalid_arg (Printf.sprintf "Discovery: switch %d scanned before registration" s)
+
 (* Scan one frontier switch: every port gets a host probe and a
    neighbour probe per candidate return port. *)
 let scan_switch ~verify ~origin st s =
-  let f = Hashtbl.find st.fwd s and r = Hashtbl.find st.ret s in
+  let f, r = routes_for st s in
   let discovered = ref [] in
   for p = 1 to st.max_ports do
     if port_free st { sw = s; port = p } then begin
@@ -195,7 +203,7 @@ let verify_with_prior ~prober ~origin ~expected =
     Queue.add own_switch queue;
     while not (Queue.is_empty queue) do
       let s = Queue.pop queue in
-      let f = Hashtbl.find st.fwd s and r = Hashtbl.find st.ret s in
+      let f, r = routes_for st s in
       (* Hosts first: one targeted probe per expected host port. *)
       List.iter
         (fun (p, _) ->

@@ -26,7 +26,10 @@ let hosts t = t.built.Builder.hosts
 
 let controller_host t = t.built.Builder.controller
 
-let agent t h = Hashtbl.find t.agents h
+let agent t h =
+  match Hashtbl.find_opt t.agents h with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Fabric.agent: unknown host %d" h)
 
 let rng t = t.rng
 
@@ -46,7 +49,11 @@ let create ?config ?(seed = 42) ?k ?s ?eps ?replicas ?(packet_level_discovery = 
     (fun h ->
       Hashtbl.replace agents h (Agent.create ?k ~network:net ~rng:(Rng.split rng) ~self:h ()))
     built.Builder.hosts;
-  let ctrl_agent = Hashtbl.find agents built.Builder.controller in
+  let ctrl_agent =
+    match Hashtbl.find_opt agents built.Builder.controller with
+    | Some a -> a
+    | None -> invalid_arg "Fabric.create: controller host has no agent"
+  in
   let max_ports =
     List.fold_left
       (fun acc sw -> max acc (Graph.ports_of built.Builder.graph sw))

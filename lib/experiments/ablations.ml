@@ -120,7 +120,11 @@ let ablate_twostage () =
         with
         | Some { Path.hops = (sw, port) :: _; _ } ->
           Network.fail_link (Dumbnet.Fabric.network fab) { Types.sw; port }
-        | Some _ | None -> failwith "ablate_twostage: no path bound");
+        | Some _ | None ->
+          (failwith "ablate_twostage: no path bound"
+          [@dumbnet.partial
+            "experiment setup assertion: aborting the bench process on a broken \
+             path binding is the intended behaviour"]));
     let result =
       Runner.run
         ~pacing:{ Runner.default_pacing with packet_gap_ns = 10_000; burst_bytes = max_int }

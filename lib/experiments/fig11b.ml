@@ -54,7 +54,9 @@ let run_mode mode =
         | Dumbnet_mode ->
           Pathtable.choose (Agent.pathtable (Dumbnet.Fabric.agent fab src)) ~dst ~flow:0
       in
-      let uplink =
+      let[@dumbnet.partial
+           "experiment setup assertion: a missing victim path means the scenario \
+            itself is broken, and aborting the bench process is intended"] uplink =
         match path with
         | Some p -> (
           match p.Path.hops with

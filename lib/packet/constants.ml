@@ -1,0 +1,36 @@
+(* The single source of truth for every wire-format constant. The
+   dumbnet-lint rule R5 flags these values re-hardcoded anywhere else
+   under lib/, bin/ or bench/ — a tag byte that disagrees between the
+   codec and the dataplane silently breaks the fabric, since no switch
+   state exists to catch it (paper §4). *)
+
+(* EtherTypes (paper §3.1): DumbNet source-routed frames, the failure
+   notification flood, and plain IP for the L3 gateway path. *)
+let ethertype_dumbnet = 0x9800
+
+let ethertype_notice = 0x9801
+
+let ethertype_ip = 0x0800
+
+(* Tag bytes: 0x00 queries the switch ID, 0xFF is the ø end-of-path
+   marker, everything in between is an output port number. *)
+let tag_id_query = 0x00
+
+let tag_end_of_path = 0xFF
+
+(* Ethernet framing overhead: 2 x MAC + EtherType, and the trailing
+   frame check sequence. *)
+let eth_header_bytes = 14
+
+let fcs_bytes = 4
+
+(* Failure notifications flood with a bounded hop budget (paper §5.1):
+   far enough to cross a data-center fabric, small enough to die out. *)
+let notice_hop_limit = 5
+
+(* In-band telemetry: per-hop stamp layout (switch u32 + port u8 +
+   queue u32 + timestamp 8 bytes) and the cap on stamps per frame that
+   bounds the wire cost of the INT region. *)
+let int_stamp_wire_size = 4 + 1 + 4 + 8
+
+let int_max_stamps_per_frame = 15

@@ -5,11 +5,11 @@ type addr =
   | Node of endpoint
   | Broadcast
 
-let ethertype_dumbnet = 0x9800
+let ethertype_dumbnet = Constants.ethertype_dumbnet
 
-let ethertype_notice = 0x9801
+let ethertype_notice = Constants.ethertype_notice
 
-let ethertype_ip = 0x0800
+let ethertype_ip = Constants.ethertype_ip
 
 type priority =
   | High
@@ -40,7 +40,7 @@ let with_int t = if t.int_enabled then t else { t with int_enabled = true }
    region forwards unstamped so the wire cost stays bounded. Stamps are
    consed newest-first so the per-hop cost is O(1) — the reversal to
    wire order happens once, at encode/read time. *)
-let add_stamp stamp t =
+let[@dumbnet.hot] add_stamp stamp t =
   if (not t.int_enabled) || t.int_count >= Int_stamp.max_per_frame then t
   else { t with int_rev_stamps = stamp :: t.int_rev_stamps; int_count = t.int_count + 1 }
 
@@ -109,9 +109,9 @@ let plain ~src ~dst ~payload =
     payload;
   }
 
-let eth_header = 14 (* 2 x MAC + EtherType *)
+let eth_header = Constants.eth_header_bytes
 
-let fcs = 4
+let fcs = Constants.fcs_bytes
 
 let int_region_bytes t =
   if t.int_enabled then 1 (* stamp count *) + (Int_stamp.wire_size * t.int_count) else 0

@@ -10,10 +10,9 @@ type t = {
   timestamp_ns : int;
 }
 
-let max_per_frame = 15
+let max_per_frame = Constants.int_max_stamps_per_frame
 
-(* switch u32 + port u8 + queue u32 + timestamp 8 bytes *)
-let wire_size = 4 + 1 + 4 + 8
+let wire_size = Constants.int_stamp_wire_size
 
 let link_end t = { sw = t.switch; port = t.port }
 

@@ -7,13 +7,13 @@ type entry = {
 
 let entry_bytes = 4
 
-let label_end_of_path = 0xFF
+let label_end_of_path = Constants.tag_end_of_path
 
 let default_ttl = 64
 
 let label_of_tag = function
   | Tag.Forward p -> p
-  | Tag.Id_query -> 0
+  | Tag.Id_query -> Constants.tag_id_query
   | Tag.End_of_path -> label_end_of_path
 
 let of_tags tags =
@@ -35,7 +35,7 @@ let to_tags entries =
     if not ok_flags then None
     else begin
       let tag_of e =
-        if e.label = 0 then Some Tag.Id_query
+        if e.label = Constants.tag_id_query then Some Tag.Id_query
         else if e.label = label_end_of_path then Some Tag.End_of_path
         else if e.label >= 1 && e.label <= Dumbnet_topology.Types.max_port then
           Some (Tag.Forward e.label)

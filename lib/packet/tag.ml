@@ -12,14 +12,14 @@ let forward port =
 
 let to_byte = function
   | Forward p -> Char.chr p
-  | Id_query -> '\x00'
-  | End_of_path -> '\xff'
+  | Id_query -> Char.chr Constants.tag_id_query
+  | End_of_path -> Char.chr Constants.tag_end_of_path
 
 let of_byte c =
-  match Char.code c with
-  | 0 -> Id_query
-  | 0xFF -> End_of_path
-  | p -> Forward p
+  let b = Char.code c in
+  if b = Constants.tag_id_query then Id_query
+  else if b = Constants.tag_end_of_path then End_of_path
+  else Forward b
 
 let equal a b = a = b
 

@@ -79,7 +79,7 @@ let grow t =
   t.seqs <- seqs;
   t.fns <- fns
 
-let push t at ~daemon fn =
+let[@dumbnet.hot] push t at ~daemon fn =
   if t.size = Array.length t.keys then grow t;
   let i = t.size in
   t.keys.(i) <- at;
@@ -102,7 +102,7 @@ let schedule_daemon t ~delay_ns f =
   if delay_ns < 0 then invalid_arg "Engine.schedule_daemon: negative delay";
   push t (t.clock + delay_ns) ~daemon:true f
 
-let run ?until_ns ?max_events t =
+let[@dumbnet.hot] run ?until_ns ?max_events t =
   let budget = ref (Option.value max_events ~default:max_int) in
   let continue = ref true in
   while !continue && !budget > 0 do

@@ -176,7 +176,10 @@ let set_port_bandwidth t le ~gbps =
   | Some e -> e.bandwidth_gbps <- gbps
   | None -> invalid_arg "Network.set_port_bandwidth: unknown port"
 
-let monitor t sw = Hashtbl.find t.monitors sw
+let monitor t sw =
+  match Hashtbl.find_opt t.monitors sw with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Network.monitor: unknown switch %d" sw)
 
 let port_counters t le =
   match egress_opt t le.sw le.port with
@@ -230,7 +233,7 @@ let queue_backlog_bytes t le =
    queue drains and deliver after propagation. High-priority frames only
    wait for the high lane — strict priority, approximated with two
    virtual clocks. *)
-let transmit t egress frame ?(extra_delay_ns = 0) ~deliver () =
+let[@dumbnet.hot] transmit t egress frame ?(extra_delay_ns = 0) ~deliver () =
   let now = Engine.now t.eng in
   (* The wire size is needed for queue accounting, serialization and
      delivery stats; walk the frame once and thread the result through
@@ -284,7 +287,7 @@ let deliver_to_host t h frame ~bytes =
    time plus the switch latency. Callers fold that latency into the
    schedule that delivers the frame here (one engine event per hop, not
    two) — [Engine.now] already reads arrival + switch_latency. *)
-let rec switch_process t sw ~in_port frame =
+let[@dumbnet.hot] rec switch_process t sw ~in_port frame =
   t.stats.switch_hops <- t.stats.switch_hops + 1;
   match Hashtbl.find_opt t.switches sw with
   | None -> t.stats.dataplane_drops <- t.stats.dataplane_drops + 1

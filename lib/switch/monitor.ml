@@ -15,7 +15,7 @@ type t = {
 
 let default_suppress_ns = 1_000_000_000
 
-let default_hop_limit = 5
+let default_hop_limit = Constants.notice_hop_limit
 
 let create ?(suppress_ns = default_suppress_ns) ?(hop_limit = default_hop_limit) ~self () =
   { self; suppress_ns; hop_limit; ports = Hashtbl.create 8; emitted = 0; suppressed = 0 }

@@ -55,7 +55,7 @@ let build ~generation per_switch =
     per_switch;
   { generation; ids; index; row; out_port; peer_idx; peer_port; nbr }
 
-let neighbors t sw =
+let[@dumbnet.hot] neighbors t sw =
   match Hashtbl.find_opt t.index sw with
   | Some i -> t.nbr.(i)
   | None -> []
@@ -79,7 +79,7 @@ let iter_neighbors t sw f =
 (* BFS over the int arrays, then materialized as the (switch -> hops)
    table the routing layer consumes — the table build is O(reached),
    dwarfed by what the array traversal saves over closure adjacency. *)
-let bfs_distances t ~from =
+let[@dumbnet.hot] bfs_distances t ~from =
   let n = Array.length t.ids in
   let result = Hashtbl.create ((2 * n) + 1) in
   match Hashtbl.find_opt t.index from with

@@ -7,6 +7,17 @@ type built = {
   controller : host_id;
 }
 
+(* Every builder produces at least one host; fail loudly if a new
+   topology recipe breaks that. *)
+let first_host = function
+  | h :: _ -> h
+  | [] -> invalid_arg "Builder: topology has no hosts"
+
+let host_at hosts i =
+  match List.nth_opt hosts i with
+  | Some h -> h
+  | None -> invalid_arg (Printf.sprintf "Builder: no host at index %d" i)
+
 let figure1 () =
   let g = Graph.create () in
   let s1 = Graph.add_switch g ~ports:10 in
@@ -98,7 +109,7 @@ let testbed () =
                h))
          leaf_ids counts)
   in
-  { graph = g; hosts; controller = List.hd hosts }
+  { graph = g; hosts; controller = first_host hosts }
 
 let fat_tree ?ports ~k () =
   if k < 2 || k mod 2 <> 0 then invalid_arg "Builder.fat_tree: k must be even and >= 2";
@@ -142,7 +153,7 @@ let fat_tree ?ports ~k () =
     done
   done;
   let hosts = List.rev !hosts in
-  { graph = g; hosts; controller = List.hd hosts }
+  { graph = g; hosts; controller = first_host hosts }
 
 let cube ?ports ~n ~controller_at () =
   if n < 2 then invalid_arg "Builder.cube: n must be >= 2";
@@ -184,7 +195,7 @@ let cube ?ports ~n ~controller_at () =
     | `Corner -> idx 0 0 0
     | `Center -> idx (n / 2) (n / 2) (n / 2)
   in
-  { graph = g; hosts; controller = List.nth hosts controller_switch }
+  { graph = g; hosts; controller = host_at hosts controller_switch }
 
 let random_regular ~rng ~switches ~degree ~hosts_per_switch () =
   if switches < 2 then invalid_arg "Builder.random_regular: need >= 2 switches";
@@ -254,7 +265,7 @@ let random_regular ~rng ~switches ~degree ~hosts_per_switch () =
                    Graph.attach_host g h { sw; port = free_port 1 };
                    h))
       in
-      { graph = g; hosts; controller = List.hd hosts }
+      { graph = g; hosts; controller = first_host hosts }
     end
     else attempt (tries - 1)
   in
@@ -279,7 +290,7 @@ let star ?(hosts_per_leaf = 1) ~leaves () =
     done
   done;
   let hosts = List.rev !hosts in
-  { graph = g; hosts; controller = List.hd hosts }
+  { graph = g; hosts; controller = first_host hosts }
 
 let linear ~n () =
   if n < 1 then invalid_arg "Builder.linear: n must be >= 1";
@@ -297,4 +308,4 @@ let linear ~n () =
            h)
          ids)
   in
-  { graph = g; hosts; controller = List.hd hosts }
+  { graph = g; hosts; controller = first_host hosts }

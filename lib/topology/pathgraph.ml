@@ -1,5 +1,4 @@
 open Types
-module Rng = Dumbnet_util.Rng
 
 type t = {
   src : host_id;

@@ -14,7 +14,11 @@ let bfs_distances adj ~from =
   Queue.add from q;
   while not (Queue.is_empty q) do
     let sw = Queue.pop q in
-    let d = Hashtbl.find dist sw in
+    let[@dumbnet.partial
+         "BFS invariant: every queued switch was given a distance when enqueued; \
+          find_opt would box an option per visited edge on the hottest routing loop"] d =
+      Hashtbl.find dist sw
+    in
     List.iter
       (fun (_, peer, _) ->
         if not (Hashtbl.mem dist peer) then begin
@@ -123,9 +127,13 @@ let weighted_route ~weight adj ~src ~dst =
   else if not (Hashtbl.mem dist dst && Hashtbl.mem prev dst) then None
   else begin
     let rec backtrack sw acc =
-      if sw = src then src :: acc else backtrack (Hashtbl.find prev sw) (sw :: acc)
+      if sw = src then Some (src :: acc)
+      else
+        match Hashtbl.find_opt prev sw with
+        | Some p -> backtrack p (sw :: acc)
+        | None -> None (* broken predecessor chain: treat as unreachable *)
     in
-    Some (backtrack dst [])
+    backtrack dst []
   end
 
 (* Yen's k-shortest loop-free routes. Candidate spur routes are kept in
@@ -165,9 +173,9 @@ let k_shortest_routes ?rng adj ~src ~dst ~k =
           match
             shortest_route_avoiding ?rng ~banned_nodes ~banned_edges adj ~src:spur ~dst
           with
-          | None -> ()
-          | Some spur_route ->
-            let total = root @ List.tl spur_route in
+          | None | Some [] -> ()
+          | Some (_spur_head :: spur_tail) ->
+            let total = root @ spur_tail in
             if not (Hashtbl.mem seen total) then begin
               Hashtbl.replace seen total ();
               H.push candidates (List.length total) total
@@ -175,14 +183,15 @@ let k_shortest_routes ?rng adj ~src ~dst ~k =
         done
       in
       let rec fill () =
-        if List.length !chosen < k then begin
-          add_candidates (List.hd !chosen);
+        match !chosen with
+        | last :: _ when List.length !chosen < k -> (
+          add_candidates last;
           match H.pop candidates with
           | None -> ()
           | Some (_, route) ->
             chosen := route :: !chosen;
-            fill ()
-        end
+            fill ())
+        | _ -> ()
       in
       fill ();
       List.rev !chosen

@@ -1,0 +1,9 @@
+(* Fixture: R1 negative — total lookups only; the lint stays silent. *)
+
+let lookup tbl key = Hashtbl.find_opt tbl key
+
+let first = function
+  | [] -> None
+  | x :: _ -> Some x
+
+let nth xs i = List.nth_opt xs i

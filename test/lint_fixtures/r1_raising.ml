@@ -1,0 +1,8 @@
+(* Fixture: R1 positive — raising lookups in a hot-path file.
+   Parsed by dumbnet-lint only, never compiled. *)
+
+let lookup tbl key = Hashtbl.find tbl key
+
+let first xs = List.hd xs
+
+let force o = Option.get o

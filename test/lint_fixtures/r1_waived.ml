@@ -1,0 +1,5 @@
+(* Fixture: R1 waived — the waiver carries a reason and suppresses
+   exactly one finding, so it is legal under W1. *)
+
+let[@dumbnet.partial "fixture: the key is inserted two lines above"] lookup tbl key =
+  Hashtbl.find tbl key

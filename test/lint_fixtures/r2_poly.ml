@@ -1,0 +1,9 @@
+(* Fixture: R2 positive — polymorphic comparison and hashing on
+   frame/graph-sized structures, spotted via type ascription and the
+   variable-name denylist. *)
+
+let same a b = (a : Frame.t) = b
+
+let order g h = compare (g : Graph.t) h
+
+let bucket frame = Hashtbl.hash frame

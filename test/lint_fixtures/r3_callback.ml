@@ -1,0 +1,11 @@
+(* Fixture: R3 — a raise escaping an Engine.schedule callback is
+   flagged; wrapped in try or explicitly waived it is not. *)
+
+let bad eng = Engine.schedule eng ~delay_ns:10 (fun () -> failwith "boom")
+
+let wrapped eng =
+  Engine.schedule eng ~delay_ns:10 (fun () -> try failwith "contained" with _ -> ())
+
+let waived eng =
+  Engine.schedule eng ~delay_ns:10 (fun () ->
+      (failwith "intended" [@dumbnet.partial "fixture: aborting the process is the point"]))

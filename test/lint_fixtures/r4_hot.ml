@@ -1,0 +1,13 @@
+(* Fixture: R4 — allocation advisories fire inside [@dumbnet.hot]
+   functions only; the same constructs in a cold function are fine. *)
+
+let[@dumbnet.hot] advisories xs ys =
+  let merged = xs @ ys in
+  let doubled = List.map (fun x -> x * 2) merged in
+  let out = ref [] in
+  for i = 0 to 3 do
+    out := (fun () -> i) :: !out
+  done;
+  (doubled, !out)
+
+let cold xs ys = List.map (fun x -> x * 2) (xs @ ys)

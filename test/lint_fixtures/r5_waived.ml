@@ -1,0 +1,6 @@
+(* Fixture: R5 waived — [@dumbnet.wire_const] is the only attribute
+   that silences R5, and it must carry a reason. *)
+
+let[@dumbnet.wire_const "fixture: decoding a third-party capture that hardcodes the EtherType"] foreign
+    =
+  0x9800

@@ -1,0 +1,19 @@
+(* Fixture: R5 — wire constants re-hardcoded as literals. The mask
+   [land 0xff] is deliberate negative space: masking to a byte is
+   arithmetic, not a wire constant. *)
+
+let ethertype = 0x9800
+
+let is_end b = b = 0xff
+
+let mask x = x land 0xff
+
+let classify = function
+  | 0xff -> `End
+  | _ -> `Other
+
+let default_hop_limit = 5
+
+let notice origin = Frame.notice ~origin ~event:Up ~hops_left:5
+
+let stamp = { event = Up; hops_left = 5 }

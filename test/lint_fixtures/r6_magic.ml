@@ -1,0 +1,8 @@
+(* Fixture: R6 — Obj.magic and ignored result-returning calls. The
+   ignored unit-ish call at the end is the negative case. *)
+
+let coerce x = Obj.magic x
+
+let fire () = ignore (send_result ())
+
+let ok () = ignore (List.length [])

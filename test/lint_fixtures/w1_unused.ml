@@ -1,0 +1,8 @@
+(* Fixture: W1 — waiver hygiene. The first waiver suppresses nothing;
+   the second suppresses a real finding but has no reason. Both are
+   errors: waivers must be load-bearing and documented. *)
+
+let[@dumbnet.partial "fixture: this waiver shields nothing"] fine tbl key =
+  Hashtbl.find_opt tbl key
+
+let[@dumbnet.partial] no_reason tbl key = Hashtbl.find tbl key

@@ -1,0 +1,203 @@
+(* Tests for dumbnet-lint: every rule exercised through fixtures under
+   lint_fixtures/ (positive, negative, waived), plus the repo gate — the
+   real tree must lint clean with a small set of reasoned, load-bearing
+   waivers. The fixtures are parsed, never compiled. *)
+
+module Lint = Dumbnet_analysis.Lint
+module Rules = Dumbnet_analysis.Rules
+module Diagnostic = Dumbnet_analysis.Diagnostic
+
+let check = Alcotest.check
+
+(* Fixtures live outside the repo's hot dirs, so point the R1 scope at
+   them; everything else keeps the production defaults. *)
+let fixture_config = { Rules.default_config with Rules.hot_dirs = [ "lint_fixtures" ] }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let repo_root () =
+  match Lint.find_root () with
+  | Some root -> root
+  | None -> Alcotest.fail "cannot locate the repo root from the test runner"
+
+(* `dune runtest` runs from _build/default/test where the (deps
+   source_tree) sandbox puts the fixtures; `dune exec` runs from the
+   repo root, so fall back to the checkout. *)
+let fixture_dir =
+  lazy
+    (if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+     else Filename.concat (repo_root ()) "test/lint_fixtures")
+
+let lint_fixture ?(config = fixture_config) ?file name =
+  let file = Option.value file ~default:(Filename.concat "lint_fixtures" name) in
+  Lint.lint_source ~config ~file
+    (read_file (Filename.concat (Lazy.force fixture_dir) name))
+
+let count rule diags =
+  List.length (List.filter (fun d -> d.Diagnostic.rule = rule) diags)
+
+let errors diags =
+  List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) diags
+
+(* --- R1 --- *)
+
+let test_r1_flags_raising_lookups () =
+  let diags, _ = lint_fixture "r1_raising.ml" in
+  check Alcotest.int "three raising lookups" 3 (count "R1" diags);
+  check Alcotest.int "all are errors" 3 (List.length (errors diags))
+
+let test_r1_silent_on_total_lookups () =
+  let diags, _ = lint_fixture "r1_clean.ml" in
+  check Alcotest.int "no findings" 0 (List.length diags)
+
+let test_r1_scoped_to_hot_dirs () =
+  (* The same raising source, attributed to a cold directory: R1 must
+     not fire outside the configured hot paths. *)
+  let diags, _ = lint_fixture "r1_raising.ml" ~file:"bench/r1_raising.ml" in
+  check Alcotest.int "cold file untouched" 0 (count "R1" diags)
+
+let test_r1_waiver_suppresses () =
+  let diags, waivers = lint_fixture "r1_waived.ml" in
+  check Alcotest.int "no findings" 0 (List.length diags);
+  match waivers with
+  | [ w ] ->
+    check Alcotest.int "waiver absorbed the hit" 1 w.Rules.w_hits;
+    check Alcotest.bool "reason recorded" true (String.trim w.Rules.w_reason <> "")
+  | ws -> Alcotest.failf "expected exactly one waiver, got %d" (List.length ws)
+
+(* --- R2 --- *)
+
+let test_r2_poly_compare () =
+  let diags, _ = lint_fixture "r2_poly.ml" in
+  check Alcotest.int "ascription, compare and hash all flagged" 3 (count "R2" diags)
+
+(* --- R3 --- *)
+
+let test_r3_callback_raise () =
+  let diags, waivers = lint_fixture "r3_callback.ml" in
+  check Alcotest.int "only the naked failwith flagged" 1 (count "R3" diags);
+  match waivers with
+  | [ w ] -> check Alcotest.int "waived raise counted" 1 w.Rules.w_hits
+  | ws -> Alcotest.failf "expected exactly one waiver, got %d" (List.length ws)
+
+(* --- R4 --- *)
+
+let test_r4_hot_advisories () =
+  let diags, _ = lint_fixture "r4_hot.ml" in
+  check Alcotest.int "append, map and loop closure advised" 3 (count "R4" diags);
+  check Alcotest.int "advisories are not errors" 0 (List.length (errors diags))
+
+(* --- R5 --- *)
+
+let test_r5_wire_constants () =
+  let diags, _ = lint_fixture "r5_wire.ml" in
+  (* 0x9800, = 0xff, the 0xff pattern, the hop-limit binding, the
+     labelled argument and the record field — the [land 0xff] mask and
+     the plain 5s stay silent. *)
+  check Alcotest.int "six re-hardcoded constants" 6 (count "R5" diags)
+
+let test_r5_waiver () =
+  let diags, waivers = lint_fixture "r5_waived.ml" in
+  check Alcotest.int "no findings" 0 (List.length diags);
+  match waivers with
+  | [ w ] -> check Alcotest.int "wire_const waiver used" 1 w.Rules.w_hits
+  | ws -> Alcotest.failf "expected exactly one waiver, got %d" (List.length ws)
+
+(* --- R6 --- *)
+
+let test_r6_magic_and_ignore () =
+  let diags, _ = lint_fixture "r6_magic.ml" in
+  check Alcotest.int "Obj.magic and ignored _result call" 2 (count "R6" diags)
+
+(* --- W1 --- *)
+
+let test_w1_waiver_hygiene () =
+  let diags, waivers = lint_fixture "w1_unused.ml" in
+  check Alcotest.int "unused waiver and missing reason" 2 (count "W1" diags);
+  check Alcotest.int "both waivers reported" 2 (List.length waivers)
+
+(* --- parse failures --- *)
+
+let test_parse_error_is_a_finding () =
+  let diags, _ =
+    Lint.lint_source ~config:fixture_config ~file:"lint_fixtures/broken.ml"
+      "let = let in ;;"
+  in
+  check Alcotest.int "one parse diagnostic" 1 (count "parse" diags);
+  check Alcotest.int "and it is an error" 1 (List.length (errors diags))
+
+(* --- the repo gate --- *)
+
+let test_repo_gate_clean () =
+  let report = Lint.scan ~root:(repo_root ()) ~dirs:[ "lib"; "bin"; "bench" ] () in
+  check Alcotest.bool "scanned a real tree" true (report.Lint.files_scanned > 20);
+  (match Lint.errors report with
+  | [] -> ()
+  | d :: _ ->
+    Alcotest.failf "repo must lint clean, first error: %s"
+      (Format.asprintf "%a" Diagnostic.pp d));
+  let waivers = report.Lint.waivers in
+  check Alcotest.bool "waiver budget respected" true
+    (List.length waivers <= Rules.default_config.Rules.max_waivers);
+  List.iter
+    (fun (w : Rules.waiver) ->
+      check Alcotest.bool
+        (Printf.sprintf "%s:%d waiver has a reason" w.Rules.w_file w.Rules.w_line)
+        true
+        (String.trim w.Rules.w_reason <> "");
+      check Alcotest.bool
+        (Printf.sprintf "%s:%d waiver is load-bearing" w.Rules.w_file w.Rules.w_line)
+        true (w.Rules.w_hits > 0))
+    waivers
+
+let test_repo_gate_ratchet () =
+  (* Reintroducing a raising lookup under lib/sim must fail the gate. *)
+  let diags, _ =
+    Lint.lint_source ~file:"lib/sim/regression.ml" "let f tbl k = Hashtbl.find tbl k"
+  in
+  check Alcotest.int "regression caught" 1 (count "R1" diags)
+
+let test_waiver_budget_enforced () =
+  (* With the budget forced to zero, every existing waiver turns into a
+     W2 error — the cap is live, not decorative. *)
+  let config = { Rules.default_config with Rules.max_waivers = 0 } in
+  let report = Lint.scan ~config ~root:(repo_root ()) ~dirs:[ "lib" ] () in
+  let w2 = count "W2" report.Lint.diagnostics in
+  check Alcotest.bool "repo has waivers to cap" true (List.length report.Lint.waivers > 0);
+  check Alcotest.int "every waiver beyond the budget errors" (List.length report.Lint.waivers) w2
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "r1",
+        [
+          Alcotest.test_case "flags raising lookups" `Quick test_r1_flags_raising_lookups;
+          Alcotest.test_case "silent on total lookups" `Quick
+            test_r1_silent_on_total_lookups;
+          Alcotest.test_case "scoped to hot dirs" `Quick test_r1_scoped_to_hot_dirs;
+          Alcotest.test_case "waiver suppresses" `Quick test_r1_waiver_suppresses;
+        ] );
+      ("r2", [ Alcotest.test_case "poly compare" `Quick test_r2_poly_compare ]);
+      ("r3", [ Alcotest.test_case "callback raise" `Quick test_r3_callback_raise ]);
+      ("r4", [ Alcotest.test_case "hot advisories" `Quick test_r4_hot_advisories ]);
+      ( "r5",
+        [
+          Alcotest.test_case "wire constants" `Quick test_r5_wire_constants;
+          Alcotest.test_case "wire_const waiver" `Quick test_r5_waiver;
+        ] );
+      ("r6", [ Alcotest.test_case "magic and ignore" `Quick test_r6_magic_and_ignore ]);
+      ("w1", [ Alcotest.test_case "waiver hygiene" `Quick test_w1_waiver_hygiene ]);
+      ( "parse",
+        [ Alcotest.test_case "parse error is a finding" `Quick test_parse_error_is_a_finding ]
+      );
+      ( "gate",
+        [
+          Alcotest.test_case "repo lints clean" `Quick test_repo_gate_clean;
+          Alcotest.test_case "ratchet catches regressions" `Quick test_repo_gate_ratchet;
+          Alcotest.test_case "waiver budget enforced" `Quick test_waiver_budget_enforced;
+        ] );
+    ]
