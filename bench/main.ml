@@ -36,17 +36,20 @@ let list_experiments () =
   List.iter (fun (n, d, _) -> Printf.printf "  %-10s %s\n" n d) experiments
 
 let () =
-  (* Flags apply to the named experiments; today only `perf` has one. *)
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          E.Perf.quick := true;
-          false
-        end
-        else true)
-      (Array.to_list Sys.argv)
+  (* Flags apply to the named experiments; today only `perf` has any:
+     --quick shrinks budgets and arms the regression gate, --jobs N
+     (or DUMBNET_JOBS) adds a pool width to the scaling curve. *)
+  let rec strip_flags = function
+    | [] -> []
+    | "--quick" :: rest ->
+      E.Perf.quick := true;
+      strip_flags rest
+    | "--jobs" :: n :: rest when int_of_string_opt n <> None ->
+      E.Perf.jobs_override := int_of_string_opt n;
+      strip_flags rest
+    | arg :: rest -> arg :: strip_flags rest
   in
+  let args = strip_flags (Array.to_list Sys.argv) in
   match args with
   | _ :: [] ->
     print_endline "DumbNet evaluation harness: reproducing every table and figure of";

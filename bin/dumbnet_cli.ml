@@ -62,6 +62,17 @@ let topo_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic random seed.")
 
+let jobs_arg =
+  let doc =
+    "Controller path-graph parallelism: bootstrap and failure re-pushes batch their \
+     queries over N domains (answers are identical whatever N). Defaults to \
+     \\$(b,DUMBNET_JOBS) or the machine's core count; 1 never spawns a domain."
+  in
+  Arg.(
+    value
+    & opt int (Dumbnet.Util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log control-plane events to stderr.")
 
@@ -123,10 +134,10 @@ let discover_cmd =
 
 (* --- simulate subcommand --- *)
 
-let simulate_run spec seed duration_ms fail_after_ms verbose =
+let simulate_run spec seed jobs duration_ms fail_after_ms verbose =
   apply_verbosity verbose;
   with_topology spec seed (fun built ->
-      let fab = Fabric.create ~seed built in
+      let fab = Fabric.create ~seed ~jobs built in
       let hosts = Array.of_list built.Builder.hosts in
       let rng = Dumbnet.Util.Rng.create (seed + 1) in
       let eng = Fabric.engine fab in
@@ -192,14 +203,16 @@ let fail_arg =
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Drive random traffic over a fabric, optionally with a failure.")
-    Term.(const simulate_run $ topo_arg $ seed_arg $ duration_arg $ fail_arg $ verbose_arg)
+    Term.(
+      const simulate_run $ topo_arg $ seed_arg $ jobs_arg $ duration_arg $ fail_arg
+      $ verbose_arg)
 
 (* --- telemetry subcommand --- *)
 
-let telemetry_run spec seed duration_ms verbose =
+let telemetry_run spec seed jobs duration_ms verbose =
   apply_verbosity verbose;
   with_topology spec seed (fun built ->
-      let fab = Fabric.create ~seed built in
+      let fab = Fabric.create ~seed ~jobs built in
       let eng = Fabric.engine fab in
       let ctrl = built.Builder.controller in
       let hosts = built.Builder.hosts in
@@ -275,11 +288,15 @@ let telemetry_cmd =
     (Cmd.info "telemetry"
        ~doc:
          "Run loop probes from one host and dump its collector's per-link fabric model.")
-    Term.(const telemetry_run $ topo_arg $ seed_arg $ telemetry_duration_arg $ verbose_arg)
+    Term.(
+      const telemetry_run $ topo_arg $ seed_arg $ jobs_arg $ telemetry_duration_arg
+      $ verbose_arg)
 
 (* --- bench subcommand --- *)
 
-let bench_run names =
+let bench_run quick jobs names =
+  Dumbnet_experiments.Perf.quick := quick;
+  Dumbnet_experiments.Perf.jobs_override := jobs;
   let experiments =
     [
       ("fig7", Dumbnet_experiments.Fig7.run);
@@ -295,6 +312,7 @@ let bench_run names =
       ("fig13", Dumbnet_experiments.Fig13.run);
       ("ablations", Dumbnet_experiments.Ablations.run);
       ("telemetry", Dumbnet_experiments.Telemetry_exp.run);
+      ("perf", Dumbnet_experiments.Perf.run);
     ]
   in
   match names with
@@ -316,10 +334,23 @@ let bench_run names =
 let bench_names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiments to run (all if none).")
 
+let bench_quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Shrink perf budgets and arm the regression gate (perf experiment only).")
+
+let bench_jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Extra pool width for the perf experiment's batch scaling curve.")
+
 let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Reproduce the paper's tables and figures (same as bench/main.exe).")
-    Term.(const bench_run $ bench_names_arg)
+    Term.(const bench_run $ bench_quick_arg $ bench_jobs_arg $ bench_names_arg)
 
 let () =
   let info =

@@ -14,6 +14,9 @@
    R5  wire constants (EtherTypes, the ø tag byte, the notice hop
        limit) must come from the Constants module, not literals
    R6  no Obj.magic; no ignore of a result-returning call
+   R7  no Domain.spawn / Mutex.create outside the domain-pool module:
+       all parallelism routes through Dumbnet_util.Pool so lifetimes
+       and determinism stay auditable (DESIGN.md §9)
    W1  waiver hygiene: a waiver must carry a reason and suppress at
        least one finding *)
 
@@ -22,6 +25,7 @@ open Parsetree
 type waiver_kind =
   | Partial (* [@dumbnet.partial "reason"] — waives R1 R2 R3 R6 *)
   | Wire_const (* [@dumbnet.wire_const "reason"] — waives R5 *)
+  | Domain_use (* [@dumbnet.domain "reason"] — waives R7 *)
 
 type waiver = {
   w_kind : waiver_kind;
@@ -35,11 +39,13 @@ type waiver = {
 let waiver_kind_name = function
   | Partial -> "dumbnet.partial"
   | Wire_const -> "dumbnet.wire_const"
+  | Domain_use -> "dumbnet.domain"
 
 let waives kind rule =
   match kind with
   | Partial -> List.mem rule [ "R1"; "R2"; "R3"; "R6" ]
   | Wire_const -> rule = "R5"
+  | Domain_use -> rule = "R7"
 
 type config = {
   hot_dirs : string list; (* R1 scope: directory prefixes *)
@@ -48,6 +54,7 @@ type config = {
   poly_var_denylist : string list; (* R2: variable names *)
   callback_registrars : string list; (* R3: function names taking callbacks *)
   result_fn_suffixes : string list; (* R6: callee suffixes returning result *)
+  domain_pool_files : string list; (* R7: the only files allowed raw domains *)
   max_waivers : int; (* W2: repo-wide waiver budget *)
 }
 
@@ -59,6 +66,7 @@ let default_config =
     poly_var_denylist = [ "frame"; "frame'"; "pathgraph" ];
     callback_registrars = [ "schedule"; "schedule_at"; "schedule_daemon" ];
     result_fn_suffixes = [ "_result" ];
+    domain_pool_files = [ "lib/util/pool.ml" ];
     max_waivers = 5;
   }
 
@@ -120,6 +128,7 @@ type ctx = {
   file : string;
   hot_file : bool; (* file lives under an R1 hot dir *)
   skip_wire : bool; (* the constants module itself *)
+  skip_domain : bool; (* the domain-pool module itself (R7) *)
   mutable diags : Diagnostic.t list;
   mutable waivers : waiver list; (* every waiver seen, for reporting *)
   mutable active : waiver list; (* waivers in scope at this node *)
@@ -194,6 +203,7 @@ let waiver_of_attr ctx (attr : attribute) =
     match attr.attr_name.txt with
     | "dumbnet.partial" -> Some Partial
     | "dumbnet.wire_const" -> Some Wire_const
+    | "dumbnet.domain" -> Some Domain_use
     | _ -> None
   in
   match kind with
@@ -355,6 +365,25 @@ let check_r6_magic ctx e =
     | _ -> ())
   | None -> ()
 
+(* Raw multicore primitives: every spawn and lock lives in the one
+   audited pool module, so pool lifetimes (the runtime caps live
+   domains) and the batch determinism contract stay reviewable in one
+   place. Sites that truly need an escape hatch say why. *)
+let domain_primitives = [ ("Domain", "spawn"); ("Mutex", "create"); ("Condition", "create") ]
+
+let check_r7_domain ctx e =
+  if not ctx.skip_domain then
+    match ident_parts e with
+    | Some parts -> (
+      match last2 parts with
+      | Some m, f when List.mem (m, f) domain_primitives ->
+        emit ctx ~loc:e.pexp_loc ~rule:"R7" ~severity:Diagnostic.Error
+          "%s.%s outside the domain pool; route parallelism through \
+           Dumbnet_util.Pool or waive with [@dumbnet.domain \"reason\"]"
+          m f
+      | _ -> ())
+    | None -> ()
+
 let check_r6_ignore ctx fn args =
   match ident_parts fn with
   | Some parts -> (
@@ -392,7 +421,8 @@ let make_iterator ctx =
         (match e.pexp_desc with
         | Pexp_ident _ ->
           check_r1 ctx e;
-          check_r6_magic ctx e
+          check_r6_magic ctx e;
+          check_r7_domain ctx e
         | Pexp_apply (fn, args) ->
           check_r2 ctx fn args;
           check_r4_alloc ctx fn;
@@ -471,6 +501,7 @@ let lint_structure ?(config = default_config) ~file structure =
       file;
       hot_file = List.exists (fun d -> under_dir d file) config.hot_dirs;
       skip_wire = Filename.basename file = config.constants_module;
+      skip_domain = List.mem file config.domain_pool_files;
       diags = [];
       waivers = [];
       active = [];

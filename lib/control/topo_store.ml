@@ -1,6 +1,8 @@
 open Dumbnet_topology
 open Types
 open Dumbnet_packet
+module Pool = Dumbnet_util.Pool
+module Rng = Dumbnet_util.Rng
 
 type t = {
   g : Graph.t;
@@ -15,6 +17,10 @@ type t = {
   mutable dist_gen : int;
   mutable dist_hits : int;
   mutable dist_misses : int;
+  (* Single-writer rule: while a batch is in flight the graph and the
+     shared distance cache are frozen — worker domains read them
+     lock-free. Every mutator asserts this flag is clear. *)
+  mutable in_batch : bool;
 }
 
 type outcome =
@@ -32,17 +38,29 @@ let create g =
     dist_gen = -1;
     dist_hits = 0;
     dist_misses = 0;
+    in_batch = false;
   }
 
 let graph t = t.g
 
 let version t = t.version
 
+let in_batch t = t.in_batch
+
+(* The guard every mutator runs: mutating the graph or the shared
+   distance cache while worker domains are reading them would corrupt
+   answers silently, so it is a programming error, loudly. *)
+let assert_not_in_batch t what =
+  if t.in_batch then
+    invalid_arg (Printf.sprintf "Topo_store.%s: a path-graph batch is in flight" what)
+
 let invalidate_dist_cache t =
+  assert_not_in_batch t "invalidate_dist_cache";
   Hashtbl.reset t.dist_cache;
   t.dist_gen <- Graph.generation t.g
 
 let distances t ~from =
+  assert_not_in_batch t "distances";
   if Graph.generation t.g <> t.dist_gen then invalidate_dist_cache t;
   match Hashtbl.find_opt t.dist_cache from with
   | Some d ->
@@ -54,6 +72,7 @@ let distances t ~from =
     Hashtbl.replace t.dist_cache from d;
     d
 
+(* Reading two ints is safe at any time, batch or not. *)
 let dist_cache_stats t = (t.dist_hits, t.dist_misses)
 
 let other_end t le =
@@ -63,6 +82,7 @@ let other_end t le =
   | None -> None
 
 let apply_event t (e : Payload.link_event) =
+  assert_not_in_batch t "apply_event";
   if not (Event_dedup.fresh t.dedup e) then Ignored
   else begin
     match other_end t e.position with
@@ -81,6 +101,7 @@ let apply_event t (e : Payload.link_event) =
   end
 
 let record_discovered_link t a b =
+  assert_not_in_batch t "record_discovered_link";
   Graph.connect t.g a b;
   t.pending <- Payload.Link_discovered (a, b) :: t.pending
 
@@ -116,5 +137,92 @@ let apply_patch g changes =
             (Graph.neighbors g sw))
     changes
 
+(* --- batched path-graph service ------------------------------------- *)
+
+(* The determinism contract: when a batch wants randomized tie-breaks,
+   each item draws from its own generator seeded purely from
+   (src, dst, epoch) — never from a stream shared across items — so the
+   answer for a pair depends only on the topology, not on batch
+   composition, chunking, or domain scheduling. [epoch] is the graph
+   generation: any applied event reseeds every pair. *)
+let item_seed ~epoch ~src ~dst =
+  let mix h v = (h lxor (v + 0x9e3779b9 + (h lsl 6) + (h lsr 2))) land max_int in
+  mix (mix (mix 0x27d4eb2d epoch) src) dst
+
+(* One worker's private cache shard. Only its owning domain touches it
+   during the batch; the coordinator folds it back into the shared
+   cache after every chunk has joined. *)
+type shard = {
+  sh_tbl : (switch_id, (switch_id, int) Hashtbl.t) Hashtbl.t;
+  mutable sh_hits : int;
+  mutable sh_misses : int;
+}
+
+let serve_batch ?s ?eps ~rng_for ~pool t pairs =
+  assert_not_in_batch t "serve_path_graphs";
+  (* Refresh generation-derived state while still single-threaded: the
+     shared cache and the CSR adjacency snapshot are read-only below. *)
+  if Graph.generation t.g <> t.dist_gen then invalidate_dist_cache t;
+  let snap = Graph.adjacency t.g in
+  let epoch = Graph.generation t.g in
+  let jobs = match pool with Some p -> Pool.jobs p | None -> 1 in
+  let shards =
+    Array.init jobs (fun _ ->
+        { sh_tbl = Hashtbl.create 32; sh_hits = 0; sh_misses = 0 })
+  in
+  let serve_one ~worker (src, dst) =
+    let shard = shards.(worker) in
+    let dist ~from =
+      match Hashtbl.find_opt t.dist_cache from with
+      | Some d ->
+        shard.sh_hits <- shard.sh_hits + 1;
+        d
+      | None -> (
+        match Hashtbl.find_opt shard.sh_tbl from with
+        | Some d ->
+          shard.sh_hits <- shard.sh_hits + 1;
+          d
+        | None ->
+          shard.sh_misses <- shard.sh_misses + 1;
+          let d = Adjacency.bfs_distances snap ~from in
+          Hashtbl.replace shard.sh_tbl from d;
+          d)
+    in
+    let rng = rng_for ~epoch ~src ~dst in
+    Pathgraph.generate ?s ?eps ?rng ~dist t.g ~src ~dst
+  in
+  t.in_batch <- true;
+  let results =
+    Fun.protect
+      ~finally:(fun () -> t.in_batch <- false)
+      (fun () ->
+        match pool with
+        | Some p when Pool.jobs p > 1 -> Pool.parallel_map p ~f:serve_one pairs
+        | Some _ | None -> Array.map (serve_one ~worker:0) pairs)
+  in
+  (* Fold the shards back: BFS is deterministic on the frozen snapshot,
+     so duplicate keys across shards hold identical tables — first one
+     wins. Hit/miss totals count work actually done, duplicates
+     included. *)
+  Array.iter
+    (fun shard ->
+      Hashtbl.iter
+        (fun from d ->
+          if not (Hashtbl.mem t.dist_cache from) then Hashtbl.replace t.dist_cache from d)
+        shard.sh_tbl;
+      t.dist_hits <- t.dist_hits + shard.sh_hits;
+      t.dist_misses <- t.dist_misses + shard.sh_misses)
+    shards;
+  results
+
+let serve_path_graphs ?s ?eps ?(randomize = false) ?pool t pairs =
+  let rng_for ~epoch ~src ~dst =
+    if randomize then Some (Rng.create (item_seed ~epoch ~src ~dst)) else None
+  in
+  serve_batch ?s ?eps ~rng_for ~pool t pairs
+
+(* The singular query is the batch code path with one item and no pool:
+   one implementation to trust, one set of cache semantics. *)
 let serve_path_graph ?s ?eps ?rng t ~src ~dst =
-  Pathgraph.generate ?s ?eps ?rng ~dist:(fun ~from -> distances t ~from) t.g ~src ~dst
+  let rng_for ~epoch:_ ~src:_ ~dst:_ = rng in
+  (serve_batch ?s ?eps ~rng_for ~pool:None t [| (src, dst) |]).(0)

@@ -27,10 +27,13 @@ type outcome =
   | Needs_probe of link_end  (** port-up on an unknown cable: re-probe *)
 
 val apply_event : t -> Payload.link_event -> outcome
+(** Raises [Invalid_argument] while a path-graph batch is in flight
+    (see {!serve_path_graphs}'s single-writer rule). *)
 
 val record_discovered_link : t -> link_end -> link_end -> unit
 (** Result of re-probing after [Needs_probe]: a brand-new cable. Either
-    port being occupied raises [Invalid_argument]. *)
+    port being occupied raises [Invalid_argument], as does calling
+    during a path-graph batch. *)
 
 val take_patch : t -> Payload.t option
 (** Drains pending deltas into a [Topo_patch] (bumping the version);
@@ -50,16 +53,57 @@ val serve_path_graph :
     distinct switch instead of one per query. The maps are
     generation-checked against the graph: any applied event or
     discovered link invalidates them, so answers are always identical
-    to a fresh {!Pathgraph.generate}. *)
+    to a fresh {!Pathgraph.generate}. Implemented as a one-item
+    {!serve_path_graphs} batch — there is exactly one code path. *)
+
+val serve_path_graphs :
+  ?s:int ->
+  ?eps:int ->
+  ?randomize:bool ->
+  ?pool:Dumbnet_util.Pool.t ->
+  t ->
+  (host_id * host_id) array ->
+  Pathgraph.t option array
+(** Answer a whole batch of [(src, dst)] queries, optionally in
+    parallel over [pool]'s worker domains. Results align with the input
+    by index and are byte-identical to serving each query sequentially,
+    whatever the pool size or domain scheduling:
+
+    - the graph and the shared distance cache are frozen for the whole
+      batch (the single-writer rule below) and every domain reads the
+      same CSR adjacency snapshot;
+    - each worker owns a disjoint contiguous slice of the queries and a
+      private distance-cache shard, so the hot distance lookup takes no
+      lock; shards are folded back into the shared cache after every
+      worker has joined (BFS is deterministic, so duplicated entries
+      are identical);
+    - with [randomize] (default false), tie-breaks draw from a per-item
+      generator seeded from [(src, dst, epoch)] — [epoch] being the
+      graph generation — never from a stream shared across items.
+
+    {b Single-writer rule}: while a batch is in flight the store
+    accepts no mutation — {!apply_event}, {!record_discovered_link},
+    {!invalidate_dist_cache} and nested batches raise
+    [Invalid_argument]. Since the batch call itself blocks the caller,
+    this can only trigger from another domain or a re-entrant callback,
+    both programming errors. {!dist_cache_stats}, {!version} and
+    {!in_batch} remain safe to call at any time. *)
+
+val in_batch : t -> bool
+(** [true] while a {!serve_path_graphs} batch is in flight. *)
 
 val distances : t -> from:switch_id -> (switch_id, int) Hashtbl.t
-(** The memoized BFS distance map from one switch (read-only). *)
+(** The memoized BFS distance map from one switch (read-only). Counts
+    as a cache writer: raises [Invalid_argument] during a batch. *)
 
 val invalidate_dist_cache : t -> unit
 (** Drop the memoized distance maps. Callers never need this for
     correctness — generation checks already invalidate — but the
     controller calls it on failure notices to keep the cache's
-    lifetime explicit in the logs. *)
+    lifetime explicit in the logs. Raises [Invalid_argument] while a
+    batch is in flight (single-writer rule). *)
 
 val dist_cache_stats : t -> int * int
-(** [(hits, misses)] of the distance cache since creation. *)
+(** [(hits, misses)] of the distance cache since creation. Safe to call
+    at any time, including while a batch is in flight — the counters
+    are folded in only after every worker has joined. *)

@@ -20,15 +20,19 @@ val create :
   ?k:int ->
   ?s:int ->
   ?eps:int ->
+  ?jobs:int ->
   ?replicas:int ->
   ?packet_level_discovery:bool ->
   Builder.built ->
   t
 (** Raises [Failure] if discovery cannot reach the fabric (controller
     host detached). [k]: paths cached per destination (default 4);
-    [s]/[eps]: Algorithm-1 knobs; [packet_level_discovery] sends real
-    probe frames through the simulator instead of using the fast oracle
-    (identical protocol, much slower — for small fabrics). *)
+    [s]/[eps]: Algorithm-1 knobs; [jobs] (default 1): the controller's
+    path-graph batch parallelism — bootstrap and post-failure pushes
+    fan out over that many domains, with answers byte-identical to
+    [jobs = 1]; [packet_level_discovery] sends real probe frames
+    through the simulator instead of using the fast oracle (identical
+    protocol, much slower — for small fabrics). *)
 
 val engine : t -> Engine.t
 

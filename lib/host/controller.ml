@@ -17,6 +17,7 @@ type t = {
   replicas : Payload.change Replica.t;
   s : int;
   eps : int;
+  jobs : int;
   query_service_ns : int;
   others : host_id list;
   mutable patches : int;
@@ -34,6 +35,18 @@ let patches_sent t = t.patches
 
 let serve t ~src ~dst =
   Topo_store.serve_path_graph ~s:t.s ~eps:t.eps t.store ~src ~dst
+
+let jobs t = t.jobs
+
+(* Batch entry point for the storm-shaped workloads (bootstrap push,
+   post-failure re-push): one call, optionally fanned out over a
+   domain pool. jobs = 1 never spawns a domain — the batch runs inline
+   on the controller's own core, identical to the sequential path. *)
+let serve_batch t queries =
+  if t.jobs > 1 && Array.length queries > 1 then
+    Dumbnet_util.Pool.with_pool ~jobs:t.jobs (fun pool ->
+        Topo_store.serve_path_graphs ~s:t.s ~eps:t.eps ~pool t.store queries)
+  else Topo_store.serve_path_graphs ~s:t.s ~eps:t.eps t.store queries
 
 let max_peers = 10
 
@@ -78,15 +91,20 @@ let broadcast_patch t payload =
   Log.info (fun m ->
       m "controller H%d: broadcasting topology patch #%d" (Agent.self t.agent) t.patches);
   let self = Agent.self t.agent in
-  List.iter
-    (fun h ->
+  let others = Array.of_list t.others in
+  (* The re-query storm, absorbed as one batch: every host's fresh path
+     graph back to the controller, computed through the pool before any
+     frame goes out. Send order is unchanged from the sequential code. *)
+  let graphs = serve_batch t (Array.map (fun h -> (h, self)) others) in
+  Array.iteri
+    (fun i h ->
       ignore (Agent.send_payload t.agent ~dst:h payload);
-      match serve t ~src:h ~dst:self with
+      match graphs.(i) with
       | Some pg ->
         ignore
           (Agent.send_payload t.agent ~dst:h (Payload.Path_response (Pathgraph.to_wire pg)))
       | None -> ())
-    t.others
+    others
 
 let journal t changes =
   List.iter (fun change -> ignore (Replica.append t.replicas change)) changes
@@ -172,8 +190,9 @@ let on_event t event =
 
 let default_query_service_ns = 40_000
 
-let create ?(replicas = 3) ?(s = 2) ?(eps = 1) ?(query_service_ns = default_query_service_ns)
-    ~agent ~topology ~hosts () =
+let create ?(replicas = 3) ?(s = 2) ?(eps = 1) ?(jobs = 1)
+    ?(query_service_ns = default_query_service_ns) ~agent ~topology ~hosts () =
+  if jobs < 1 then invalid_arg "Controller.create: jobs must be >= 1";
   let self = Agent.self agent in
   let t =
     {
@@ -182,6 +201,7 @@ let create ?(replicas = 3) ?(s = 2) ?(eps = 1) ?(query_service_ns = default_quer
       replicas = Replica.create ~replicas;
       s;
       eps;
+      jobs;
       query_service_ns;
       others = List.filter (fun h -> h <> self) hosts;
       patches = 0;
@@ -214,25 +234,33 @@ let create ?(replicas = 3) ?(s = 2) ?(eps = 1) ?(query_service_ns = default_quer
 let bootstrap_push t =
   let self = Agent.self t.agent in
   Agent.set_peers t.agent (flood_peers_of t self);
+  (* Plan every path-graph query of the whole push — each host's graph
+     back to the controller plus one per flood peer — and serve them as
+     a single (optionally parallel) batch. The sends then replay in the
+     exact order the sequential implementation used. *)
+  let plans = List.map (fun h -> (h, flood_peers_of t h)) t.others in
+  let queries =
+    Array.of_list
+      (List.concat_map
+         (fun (h, peers) -> (h, self) :: List.map (fun peer -> (h, peer)) peers)
+         plans)
+  in
+  let graphs = serve_batch t queries in
+  let cursor = ref 0 in
+  let send_next h =
+    (match graphs.(!cursor) with
+    | Some pg ->
+      ignore (Agent.send_payload t.agent ~dst:h (Payload.Path_response (Pathgraph.to_wire pg)))
+    | None -> ());
+    incr cursor
+  in
   List.iter
-    (fun h ->
-      let peers = flood_peers_of t h in
+    (fun (h, peers) ->
       ignore (Agent.send_payload t.agent ~dst:h (Payload.Controller_hello { controller = self }));
       ignore (Agent.send_payload t.agent ~dst:h (Payload.Peer_list { peers }));
-      (match serve t ~src:h ~dst:self with
-      | Some pg ->
-        ignore
-          (Agent.send_payload t.agent ~dst:h (Payload.Path_response (Pathgraph.to_wire pg)))
-      | None -> ());
-      List.iter
-        (fun peer ->
-          match serve t ~src:h ~dst:peer with
-          | Some pg ->
-            ignore
-              (Agent.send_payload t.agent ~dst:h (Payload.Path_response (Pathgraph.to_wire pg)))
-          | None -> ())
-        peers)
-    t.others
+      send_next h;
+      List.iter (fun _peer -> send_next h) peers)
+    plans
 
 let set_prober t prober = t.prober <- Some prober
 

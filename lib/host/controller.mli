@@ -18,6 +18,7 @@ val create :
   ?replicas:int ->
   ?s:int ->
   ?eps:int ->
+  ?jobs:int ->
   ?query_service_ns:int ->
   agent:Agent.t ->
   topology:Graph.t ->
@@ -28,9 +29,17 @@ val create :
     the fabric's hosts (self excluded automatically). [replicas]
     (default 3) sizes the stand-in ZooKeeper ensemble; [s]/[eps] are the
     Algorithm-1 path-graph knobs used for every response.
-    [query_service_ns] (default 40 µs) is the controller's per-query
-    service time — queries are served in arrival order by one CPU, so
-    synchronized query storms queue (the Fig 10 tail). *)
+    [jobs] (default 1) is the controller's path-graph parallelism: the
+    bootstrap push and every post-failure re-push batch their queries
+    through a domain pool of that size
+    ({!Dumbnet_control.Topo_store.serve_path_graphs}). Answers are
+    byte-identical whatever the value; [jobs = 1] never spawns a
+    domain. [query_service_ns] (default 40 µs) is the controller's
+    per-query service time for {e interactive} queries — those still
+    queue in arrival order (the Fig 10 tail). *)
+
+val jobs : t -> int
+(** The controller's batch parallelism (1 = sequential). *)
 
 val agent : t -> Agent.t
 

@@ -1,0 +1,18 @@
+(* R7 fixture: raw multicore primitives outside the pool module. The
+   spawn, the lock and the condvar must each be flagged; talking about
+   domains without creating them stays legal. *)
+
+let d = Domain.spawn (fun () -> 41 + 1)
+
+let m = Mutex.create ()
+
+let c = Condition.create ()
+
+(* Reading pool-style knobs is fine — only creation is fenced. *)
+let cores = Domain.recommended_domain_count ()
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let join () = Domain.join d

@@ -1,0 +1,4 @@
+(* R7 fixture: a reasoned escape hatch. *)
+
+let watchdog =
+  (Domain.spawn (fun () -> ()) [@dumbnet.domain "one-shot watchdog, joined at exit"])

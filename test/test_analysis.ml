@@ -113,6 +113,27 @@ let test_r6_magic_and_ignore () =
   let diags, _ = lint_fixture "r6_magic.ml" in
   check Alcotest.int "Obj.magic and ignored _result call" 2 (count "R6" diags)
 
+(* --- R7 --- *)
+
+let test_r7_domain_primitives () =
+  let diags, _ = lint_fixture "r7_domain.ml" in
+  check Alcotest.int "spawn, mutex and condvar flagged" 3 (count "R7" diags);
+  (* join/lock/recommended_domain_count never create, so stay silent. *)
+  check Alcotest.int "nothing else" 3 (List.length diags)
+
+let test_r7_pool_module_exempt () =
+  (* The same source attributed to the pool module itself: that is the
+     one place raw primitives are allowed. *)
+  let diags, _ = lint_fixture "r7_domain.ml" ~file:"lib/util/pool.ml" in
+  check Alcotest.int "pool module exempt" 0 (count "R7" diags)
+
+let test_r7_waiver () =
+  let diags, waivers = lint_fixture "r7_waived.ml" in
+  check Alcotest.int "no findings" 0 (List.length diags);
+  match waivers with
+  | [ w ] -> check Alcotest.int "domain waiver used" 1 w.Rules.w_hits
+  | ws -> Alcotest.failf "expected exactly one waiver, got %d" (List.length ws)
+
 (* --- W1 --- *)
 
 let test_w1_waiver_hygiene () =
@@ -190,6 +211,12 @@ let () =
           Alcotest.test_case "wire_const waiver" `Quick test_r5_waiver;
         ] );
       ("r6", [ Alcotest.test_case "magic and ignore" `Quick test_r6_magic_and_ignore ]);
+      ( "r7",
+        [
+          Alcotest.test_case "domain primitives fenced" `Quick test_r7_domain_primitives;
+          Alcotest.test_case "pool module exempt" `Quick test_r7_pool_module_exempt;
+          Alcotest.test_case "domain waiver" `Quick test_r7_waiver;
+        ] );
       ("w1", [ Alcotest.test_case "waiver hygiene" `Quick test_w1_waiver_hygiene ]);
       ( "parse",
         [ Alcotest.test_case "parse error is a finding" `Quick test_parse_error_is_a_finding ]
