@@ -19,7 +19,7 @@ let experiments =
     ("fig13", "HiBench task durations by network mode", E.Fig13.run);
     ("ablations", "design-choice ablations (cache, two-stage, TE, prior)", E.Ablations.run);
     ("telemetry", "in-band telemetry: accuracy, gray failures, TE", E.Telemetry_exp.run);
-    ("perf", "hot-path microbenchmarks, writes BENCH_PERF.json", E.Perf.run);
+    ("perf", "hot-path and failure-repair microbenchmarks, writes BENCH_PERF.json", E.Perf.run);
   ]
 
 let run_one name =

@@ -207,6 +207,80 @@ let simulate_cmd =
       const simulate_run $ topo_arg $ seed_arg $ jobs_arg $ duration_arg $ fail_arg
       $ verbose_arg)
 
+(* --- repair subcommand --- *)
+
+let repair_run spec seed jobs events coalesce_us eager verbose =
+  apply_verbosity verbose;
+  with_topology spec seed (fun built ->
+      let coalesce_ns = Option.map (fun us -> us * 1_000) coalesce_us in
+      let fab = Fabric.create ~seed ~jobs ?coalesce_ns ~eager_repair:eager built in
+      let ctrl = Fabric.controller fab in
+      let g = Dumbnet.Sim.Network.graph (Fabric.network fab) in
+      let links = Array.of_list (List.map fst (Graph.switch_links g)) in
+      if Array.length links = 0 then begin
+        Printf.eprintf "error: topology has no switch-to-switch cables to fail\n";
+        1
+      end
+      else begin
+        let rng = Dumbnet.Util.Rng.create (seed + 1) in
+        for i = 1 to events do
+          let key = links.(Dumbnet.Util.Rng.int rng (Array.length links)) in
+          let a, b = Types.Link_key.ends key in
+          Format.printf "event %d: fail %a<->%a@." i Types.pp_link_end a Types.pp_link_end b;
+          Fabric.fail_link fab a;
+          Fabric.run fab;
+          (* Past the monitor's up-notice suppression window, then heal. *)
+          Fabric.run ~for_ns:1_100_000_000 fab;
+          Fabric.restore_link fab a;
+          Fabric.run fab
+        done;
+        let r = Dumbnet.Control.Topo_store.repair_stats (Dumbnet.Host.Controller.store ctrl) in
+        let p = Dumbnet.Host.Controller.repush_stats ctrl in
+        Printf.printf
+          "scoped repairs:    %d (%d full resets)\n\
+           distance tables:   %d evicted, %d retained, %d eagerly rebuilt\n\
+           patches sent:      %d\n\
+           delta re-pushes:   %d rounds, %d path graphs re-sent\n\
+           push ledger:       %d cached pairs\n"
+          r.Dumbnet.Control.Topo_store.repair_events r.Dumbnet.Control.Topo_store.full_resets
+          r.Dumbnet.Control.Topo_store.evicted_roots r.Dumbnet.Control.Topo_store.retained_roots
+          r.Dumbnet.Control.Topo_store.eager_repairs
+          (Dumbnet.Host.Controller.patches_sent ctrl)
+          p.Dumbnet.Host.Controller.repair_rounds p.Dumbnet.Host.Controller.repushed_pairs
+          p.Dumbnet.Host.Controller.cached_pairs;
+        0
+      end)
+
+let repair_events_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "n"; "events" ] ~docv:"N" ~doc:"Fail/restore cycles to drive through the fabric.")
+
+let coalesce_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "coalesce" ] ~docv:"US"
+        ~doc:
+          "Burst-coalescing window in microseconds: events landing inside it leave as one \
+           combined patch and one delta re-push (default: patch immediately).")
+
+let eager_arg =
+  Arg.(
+    value & flag
+    & info [ "eager" ]
+        ~doc:"Rebuild evicted distance tables on the spot instead of on first use.")
+
+let repair_cmd =
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Inject cable failures and report the controller's incremental repair statistics \
+          (scoped cache eviction, delta re-pushes).")
+    Term.(
+      const repair_run $ topo_arg $ seed_arg $ jobs_arg $ repair_events_arg $ coalesce_arg
+      $ eager_arg $ verbose_arg)
+
 (* --- telemetry subcommand --- *)
 
 let telemetry_run spec seed jobs duration_ms verbose =
@@ -359,4 +433,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ topo_cmd; discover_cmd; simulate_cmd; telemetry_cmd; bench_cmd ]))
+       (Cmd.group info
+          [ topo_cmd; discover_cmd; simulate_cmd; repair_cmd; telemetry_cmd; bench_cmd ]))

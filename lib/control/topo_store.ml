@@ -4,6 +4,16 @@ open Dumbnet_packet
 module Pool = Dumbnet_util.Pool
 module Rng = Dumbnet_util.Rng
 
+(* Defined before [t] on purpose: the field names mirror [t]'s mutable
+   counters, and the later definition must win unannotated inference. *)
+type repair_stats = {
+  repair_events : int;
+  evicted_roots : int;
+  retained_roots : int;
+  eager_repairs : int;
+  full_resets : int;
+}
+
 type t = {
   g : Graph.t;
   dedup : Event_dedup.t;
@@ -14,9 +24,29 @@ type t = {
      few switches. Generation-checked against the graph so any applied
      event (failure notice, patch, discovered link) invalidates it. *)
   dist_cache : (switch_id, (switch_id, int) Hashtbl.t) Hashtbl.t;
+  (* Reverse index for scoped invalidation: cable -> the BFS roots whose
+     cached table the cable is tight for (|d a - d b| = 1), plus the
+     forward map so evicting a root can unregister it. Failing any
+     non-tight cable provably changes no distance from that root, so a
+     single link event evicts only the reverse-index hit set instead of
+     resetting the table (the pre-PR recompute storm). *)
+  link_users : (Link_key.t, (switch_id, unit) Hashtbl.t) Hashtbl.t;
+  root_links : (switch_id, Link_key.t list) Hashtbl.t;
+  (* Generation bookkeeping is split: [dist_gen] is the topology
+     generation the cache as a whole is synced to — advanced in place
+     by the scoped-repair paths — while per-entry validity is implied
+     by membership (an entry present at [dist_gen] is exact). A
+     generation move NOT routed through apply_event /
+     record_discovered_link is out-of-band and drops everything. *)
   mutable dist_gen : int;
+  eager_repair : bool;
   mutable dist_hits : int;
   mutable dist_misses : int;
+  mutable repair_events : int;
+  mutable evicted_roots : int;
+  mutable retained_roots : int;
+  mutable eager_repairs : int;
+  mutable full_resets : int;
   (* Single-writer rule: while a batch is in flight the graph and the
      shared distance cache are frozen — worker domains read them
      lock-free. Every mutator asserts this flag is clear. *)
@@ -28,16 +58,24 @@ type outcome =
   | Ignored
   | Needs_probe of link_end
 
-let create g =
+let create ?(eager_repair = false) g =
   {
     g = Graph.copy g;
     dedup = Event_dedup.create ();
     version = 0;
     pending = [];
     dist_cache = Hashtbl.create 64;
+    link_users = Hashtbl.create 64;
+    root_links = Hashtbl.create 64;
     dist_gen = -1;
+    eager_repair;
     dist_hits = 0;
     dist_misses = 0;
+    repair_events = 0;
+    evicted_roots = 0;
+    retained_roots = 0;
+    eager_repairs = 0;
+    full_resets = 0;
     in_batch = false;
   }
 
@@ -54,14 +92,124 @@ let assert_not_in_batch t what =
   if t.in_batch then
     invalid_arg (Printf.sprintf "Topo_store.%s: a path-graph batch is in flight" what)
 
+(* --- scoped distance-cache repair ------------------------------------ *)
+
+(* Record [from]'s freshly computed table in the cache and in the
+   reverse index: every cable that is tight for it (|d a - d b| = 1,
+   both ends reachable) can invalidate it later; no other cable can. *)
+let register_root t from d =
+  let snap = Graph.adjacency t.g in
+  let keys = ref [] in
+  for i = 0 to Adjacency.num_switches snap - 1 do
+    let sw = Adjacency.id_of snap i in
+    match Hashtbl.find_opt d sw with
+    | None -> ()
+    | Some dsw ->
+      Adjacency.iter_neighbors snap sw (fun ~out ~peer ~peer_in ->
+          if sw < peer then
+            match Hashtbl.find_opt d peer with
+            | Some dpeer when abs (dsw - dpeer) = 1 ->
+              let key = Link_key.make { sw; port = out } { sw = peer; port = peer_in } in
+              keys := key :: !keys;
+              let users =
+                match Hashtbl.find_opt t.link_users key with
+                | Some u -> u
+                | None ->
+                  let u = Hashtbl.create 8 in
+                  Hashtbl.replace t.link_users key u;
+                  u
+              in
+              Hashtbl.replace users from ()
+            | Some _ | None -> ())
+  done;
+  Hashtbl.replace t.root_links from !keys
+
+let insert_table t from d =
+  Hashtbl.replace t.dist_cache from d;
+  register_root t from d
+
+let unregister_root t from =
+  (match Hashtbl.find_opt t.root_links from with
+  | None -> ()
+  | Some keys ->
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt t.link_users key with
+        | None -> ()
+        | Some users ->
+          Hashtbl.remove users from;
+          if Hashtbl.length users = 0 then Hashtbl.remove t.link_users key)
+      keys);
+  Hashtbl.remove t.root_links from
+
+(* Evict one stale table; under [eager_repair] immediately recompute it
+   (bounded to this one BFS) so the post-failure query storm finds the
+   cache already warm. *)
+let evict_root t from =
+  Hashtbl.remove t.dist_cache from;
+  unregister_root t from;
+  t.evicted_roots <- t.evicted_roots + 1;
+  if t.eager_repair then begin
+    let d = Adjacency.bfs_distances (Graph.adjacency t.g) ~from in
+    insert_table t from d;
+    t.eager_repairs <- t.eager_repairs + 1
+  end
+
+let reset_cache t =
+  Hashtbl.reset t.dist_cache;
+  Hashtbl.reset t.link_users;
+  Hashtbl.reset t.root_links;
+  t.dist_gen <- Graph.generation t.g
+
+(* The one generation check — the singular lookup path and the batch
+   path both come through here, so the two can never drift. A
+   generation move that did not pass through the scoped-repair paths
+   (which advance [dist_gen] themselves) is an out-of-band graph
+   mutation: scoped repair has no event to scope to, drop everything. *)
+let sync_generation t =
+  if Graph.generation t.g <> t.dist_gen then begin
+    if Hashtbl.length t.dist_cache > 0 then t.full_resets <- t.full_resets + 1;
+    reset_cache t
+  end
+
+(* Scoped repair after one switch-to-switch link event — the
+   replacement for the wholesale reset. Failure: exactly the
+   reverse-index hit set can change. Restore (or new cable): distances
+   can only shrink, and a table survives iff it already holds both
+   ends at most one hop apart (no shortcut possible) or neither end at
+   all (the cable joins components the root cannot see). Both rules
+   are exact for BFS distance tables, so every retained entry is
+   byte-identical to a from-scratch recompute — the qcheck
+   incremental-vs-cold suite holds us to that. *)
+let repair_after_link_change t a b ~up =
+  t.repair_events <- t.repair_events + 1;
+  let before = Hashtbl.length t.dist_cache in
+  let victims = ref [] in
+  if not up then begin
+    match Hashtbl.find_opt t.link_users (Link_key.make a b) with
+    | None -> ()
+    | Some users -> Hashtbl.iter (fun root () -> victims := root :: !victims) users
+  end
+  else
+    Hashtbl.iter
+      (fun root d ->
+        match (Hashtbl.find_opt d a.sw, Hashtbl.find_opt d b.sw) with
+        | Some da, Some db when abs (da - db) <= 1 -> ()
+        | None, None -> ()
+        | Some _, (Some _ | None) | None, Some _ -> victims := root :: !victims)
+      t.dist_cache;
+  List.iter (fun root -> evict_root t root) !victims;
+  t.retained_roots <- t.retained_roots + before - List.length !victims;
+  t.dist_gen <- Graph.generation t.g
+
 let invalidate_dist_cache t =
   assert_not_in_batch t "invalidate_dist_cache";
-  Hashtbl.reset t.dist_cache;
-  t.dist_gen <- Graph.generation t.g
+  if Hashtbl.length t.dist_cache > 0 then t.full_resets <- t.full_resets + 1;
+  reset_cache t
 
 let distances t ~from =
   assert_not_in_batch t "distances";
-  if Graph.generation t.g <> t.dist_gen then invalidate_dist_cache t;
+  sync_generation t;
   match Hashtbl.find_opt t.dist_cache from with
   | Some d ->
     t.dist_hits <- t.dist_hits + 1;
@@ -69,11 +217,22 @@ let distances t ~from =
   | None ->
     t.dist_misses <- t.dist_misses + 1;
     let d = Adjacency.bfs_distances (Graph.adjacency t.g) ~from in
-    Hashtbl.replace t.dist_cache from d;
+    insert_table t from d;
     d
 
-(* Reading two ints is safe at any time, batch or not. *)
+(* Reading plain ints is safe at any time, batch or not. *)
 let dist_cache_stats t = (t.dist_hits, t.dist_misses)
+
+let repair_stats t : repair_stats =
+  {
+    repair_events = t.repair_events;
+    evicted_roots = t.evicted_roots;
+    retained_roots = t.retained_roots;
+    eager_repairs = t.eager_repairs;
+    full_resets = t.full_resets;
+  }
+
+let cached_roots t = Hashtbl.length t.dist_cache
 
 let other_end t le =
   match Graph.endpoint_at t.g le with
@@ -89,7 +248,16 @@ let apply_event t (e : Payload.link_event) =
     | Some peer ->
       if Graph.link_up t.g e.position = e.up then Ignored
       else begin
+        (* Settle any out-of-band staleness against the pre-event graph
+           first, so the scoped repair below reasons about tables that
+           were exact a moment ago. *)
+        sync_generation t;
         Graph.set_link_state t.g e.position ~up:e.up;
+        (if peer = e.position then
+           (* Host-facing link: the switch-to-switch BFS tables cannot
+              have changed — just re-sync the generation stamp. *)
+           t.dist_gen <- Graph.generation t.g
+         else repair_after_link_change t e.position peer ~up:e.up);
         let change =
           if e.up then Payload.Link_restored (e.position, peer)
           else Payload.Link_failed (e.position, peer)
@@ -102,7 +270,11 @@ let apply_event t (e : Payload.link_event) =
 
 let record_discovered_link t a b =
   assert_not_in_batch t "record_discovered_link";
+  sync_generation t;
   Graph.connect t.g a b;
+  (* A new cable repairs like a restore: only tables that could route
+     through it profitably are evicted. *)
+  repair_after_link_change t a b ~up:true;
   t.pending <- Payload.Link_discovered (a, b) :: t.pending
 
 let take_patch t =
@@ -161,8 +333,9 @@ type shard = {
 let serve_batch ?s ?eps ~rng_for ~pool t pairs =
   assert_not_in_batch t "serve_path_graphs";
   (* Refresh generation-derived state while still single-threaded: the
-     shared cache and the CSR adjacency snapshot are read-only below. *)
-  if Graph.generation t.g <> t.dist_gen then invalidate_dist_cache t;
+     shared cache and the CSR adjacency snapshot are read-only below.
+     Same helper as the singular path — the two checks cannot drift. *)
+  sync_generation t;
   let snap = Graph.adjacency t.g in
   let epoch = Graph.generation t.g in
   let jobs = match pool with Some p -> Pool.jobs p | None -> 1 in
@@ -197,8 +370,12 @@ let serve_batch ?s ?eps ~rng_for ~pool t pairs =
       ~finally:(fun () -> t.in_batch <- false)
       (fun () ->
         match pool with
-        | Some p when Pool.jobs p > 1 -> Pool.parallel_map p ~f:serve_one pairs
-        | Some _ | None -> Array.map (serve_one ~worker:0) pairs)
+        | Some p when Pool.worthwhile ~jobs:(Pool.jobs p) ~items:(Array.length pairs) ->
+          Pool.parallel_map p ~f:serve_one pairs
+        | Some _ | None ->
+          (* jobs = 1, or a batch too small to amortize handing chunks
+             to parked domains: run inline, byte-identical either way. *)
+          Array.map (serve_one ~worker:0) pairs)
   in
   (* Fold the shards back: BFS is deterministic on the frozen snapshot,
      so duplicate keys across shards hold identical tables — first one
@@ -208,7 +385,7 @@ let serve_batch ?s ?eps ~rng_for ~pool t pairs =
     (fun shard ->
       Hashtbl.iter
         (fun from d ->
-          if not (Hashtbl.mem t.dist_cache from) then Hashtbl.replace t.dist_cache from d)
+          if not (Hashtbl.mem t.dist_cache from) then insert_table t from d)
         shard.sh_tbl;
       t.dist_hits <- t.dist_hits + shard.sh_hits;
       t.dist_misses <- t.dist_misses + shard.sh_misses)

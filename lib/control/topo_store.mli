@@ -13,8 +13,13 @@ open Dumbnet_packet
 
 type t
 
-val create : Graph.t -> t
-(** Takes its own copy of the graph. *)
+val create : ?eager_repair:bool -> Graph.t -> t
+(** Takes its own copy of the graph. With [eager_repair] (default
+    false), a link event not only evicts the affected memoized BFS
+    tables but recomputes each of them on the spot — one bounded BFS
+    per affected root — so the post-failure query storm finds the
+    cache already warm. Answers are identical either way; only when
+    the BFS work happens differs. *)
 
 val graph : t -> Graph.t
 
@@ -28,7 +33,14 @@ type outcome =
 
 val apply_event : t -> Payload.link_event -> outcome
 (** Raises [Invalid_argument] while a path-graph batch is in flight
-    (see {!serve_path_graphs}'s single-writer rule). *)
+    (see {!serve_path_graphs}'s single-writer rule).
+
+    An applied event repairs the memoized distance cache {e in place}
+    instead of resetting it: a failed cable evicts only the tables it
+    was tight for (tracked by a cable → roots reverse index), a
+    restored or new cable only the tables it could shorten. Retained
+    tables are provably byte-identical to a fresh BFS on the mutated
+    graph. See {!repair_stats} for the eviction/retention counters. *)
 
 val record_discovered_link : t -> link_end -> link_end -> unit
 (** Result of re-probing after [Needs_probe]: a brand-new cable. Either
@@ -97,13 +109,30 @@ val distances : t -> from:switch_id -> (switch_id, int) Hashtbl.t
     as a cache writer: raises [Invalid_argument] during a batch. *)
 
 val invalidate_dist_cache : t -> unit
-(** Drop the memoized distance maps. Callers never need this for
-    correctness — generation checks already invalidate — but the
-    controller calls it on failure notices to keep the cache's
-    lifetime explicit in the logs. Raises [Invalid_argument] while a
-    batch is in flight (single-writer rule). *)
+(** Drop {e all} memoized distance maps unconditionally. Callers never
+    need this for correctness — {!apply_event} repairs in place and
+    out-of-band graph mutations are caught by the generation check —
+    it remains for tests and explicit resets. Counts as a full reset
+    in {!repair_stats}. Raises [Invalid_argument] while a batch is in
+    flight (single-writer rule). *)
 
 val dist_cache_stats : t -> int * int
 (** [(hits, misses)] of the distance cache since creation. Safe to call
     at any time, including while a batch is in flight — the counters
     are folded in only after every worker has joined. *)
+
+(** Counters of the incremental distance-cache repair machinery. *)
+type repair_stats = {
+  repair_events : int;  (** switch-link events repaired in place *)
+  evicted_roots : int;  (** memoized tables dropped by scoped eviction *)
+  retained_roots : int;  (** tables that provably survived an event *)
+  eager_repairs : int;  (** evictions recomputed on the spot ([eager_repair]) *)
+  full_resets : int;
+      (** wholesale cache drops: explicit {!invalidate_dist_cache} calls
+          or out-of-band graph mutations the repair could not scope *)
+}
+
+val repair_stats : t -> repair_stats
+
+val cached_roots : t -> int
+(** Number of per-switch BFS tables currently memoized. *)

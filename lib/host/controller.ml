@@ -6,10 +6,17 @@ module Topo_store = Dumbnet_control.Topo_store
 module Replica = Dumbnet_control.Replica
 module Discovery = Dumbnet_control.Discovery
 module Probe_walk = Dumbnet_control.Probe_walk
+module Pool = Dumbnet_util.Pool
 
 let log_src = Dumbnet_util.Logging.src "controller"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type repush_stats = {
+  repair_rounds : int;
+  repushed_pairs : int;
+  cached_pairs : int;
+}
 
 type t = {
   agent : Agent.t;
@@ -19,8 +26,19 @@ type t = {
   eps : int;
   jobs : int;
   query_service_ns : int;
+  coalesce_ns : int option;
   others : host_id list;
+  (* Every path graph the controller has pushed (bootstrap, query
+     responses, repairs), keyed by (src, dst), plus the inverted
+     subscription index: cable -> the pairs whose generated subgraph
+     contains it. A failure re-pushes exactly the subscribed pairs —
+     the delta re-push that replaces the wholesale post-patch storm. *)
+  pushed : (host_id * host_id, Pathgraph.t) Hashtbl.t;
+  subs : (Link_key.t, (host_id * host_id, unit) Hashtbl.t) Hashtbl.t;
   mutable patches : int;
+  mutable repair_rounds : int;
+  mutable repushed_pairs : int;
+  mutable flush_scheduled : bool;
   mutable busy_until_ns : int;
   mutable prober : Discovery.prober option;
 }
@@ -43,10 +61,87 @@ let jobs t = t.jobs
    domain pool. jobs = 1 never spawns a domain — the batch runs inline
    on the controller's own core, identical to the sequential path. *)
 let serve_batch t queries =
-  if t.jobs > 1 && Array.length queries > 1 then
-    Dumbnet_util.Pool.with_pool ~jobs:t.jobs (fun pool ->
+  if Pool.worthwhile ~jobs:t.jobs ~items:(Array.length queries) then
+    Pool.with_pool ~jobs:t.jobs (fun pool ->
         Topo_store.serve_path_graphs ~s:t.s ~eps:t.eps ~pool t.store queries)
-  else Topo_store.serve_path_graphs ~s:t.s ~eps:t.eps t.store queries
+  else
+    (* Too few queries to amortize spawning domains: inline,
+       byte-identical to the pooled path. *)
+    Topo_store.serve_path_graphs ~s:t.s ~eps:t.eps t.store queries
+
+(* --- the pushed-pair ledger and its link subscription index --- *)
+
+let unsubscribe t pair =
+  match Hashtbl.find_opt t.pushed pair with
+  | None -> ()
+  | Some pg ->
+    Link_set.iter
+      (fun key ->
+        match Hashtbl.find_opt t.subs key with
+        | None -> ()
+        | Some pairs ->
+          Hashtbl.remove pairs pair;
+          if Hashtbl.length pairs = 0 then Hashtbl.remove t.subs key)
+      (Pathgraph.links pg);
+    Hashtbl.remove t.pushed pair
+
+let record_push t ~src ~dst pg =
+  let pair = (src, dst) in
+  unsubscribe t pair;
+  Hashtbl.replace t.pushed pair pg;
+  Link_set.iter
+    (fun key ->
+      let pairs =
+        match Hashtbl.find_opt t.subs key with
+        | Some p -> p
+        | None ->
+          let p = Hashtbl.create 8 in
+          Hashtbl.replace t.subs key p;
+          p
+      in
+      Hashtbl.replace pairs pair ())
+    (Pathgraph.links pg)
+
+let cached_pairs t = List.sort compare (Hashtbl.fold (fun pair _ acc -> pair :: acc) t.pushed [])
+
+let cached_graph t ~src ~dst = Hashtbl.find_opt t.pushed (src, dst)
+
+let repush_stats t : repush_stats =
+  {
+    repair_rounds = t.repair_rounds;
+    repushed_pairs = t.repushed_pairs;
+    cached_pairs = Hashtbl.length t.pushed;
+  }
+
+(* Which pushed pairs a patch's deltas invalidate. A failed cable hits
+   exactly the pairs whose generated subgraph contained it; a removed
+   switch hits every pair subscribed to one of its cables. Restores and
+   discoveries hit no one — cached graphs stay valid and hosts only
+   gain better options by re-querying — so those patches carry no
+   re-push at all. Sorted for a deterministic batch order. *)
+let affected_pairs t changes =
+  let hit = Hashtbl.create 32 in
+  let add_link key =
+    match Hashtbl.find_opt t.subs key with
+    | None -> ()
+    | Some pairs -> Hashtbl.iter (fun pair () -> Hashtbl.replace hit pair ()) pairs
+  in
+  List.iter
+    (fun change ->
+      match change with
+      | Payload.Link_failed (a, b) -> add_link (Link_key.make a b)
+      | Payload.Switch_removed sw ->
+        let doomed =
+          Hashtbl.fold
+            (fun key _ acc ->
+              let a, b = Link_key.ends key in
+              if a.sw = sw || b.sw = sw then key :: acc else acc)
+            t.subs []
+        in
+        List.iter add_link doomed
+      | Payload.Link_restored _ | Payload.Link_discovered _ -> ())
+    changes;
+  List.sort compare (Hashtbl.fold (fun pair () acc -> pair :: acc) hit [])
 
 let max_peers = 10
 
@@ -83,28 +178,43 @@ let flood_peers_of t h =
     let result = List.rev !peers in
     if h <> self && not (List.mem self result) then self :: result else result
 
-(* Stage 2 must guarantee connectivity (§4.2): besides the patch, every
-   host gets a fresh path graph back to the controller, so a host whose
-   cached controller path died regains its query channel. *)
-let broadcast_patch t payload =
+(* Stage 2 as a delta re-push (§4.2): every host still receives the
+   patch, but fresh path graphs go only to the pairs whose cached
+   subgraph a failed cable actually crossed — the subscription index
+   scopes the recompute to the blast radius instead of the fabric.
+   Connectivity stays guaranteed: a host whose controller path died
+   is, by construction, subscribed to the dead cable and gets a fresh
+   graph in the same round. Affected pairs are regenerated as one
+   (optionally pooled) batch before any frame goes out. *)
+let broadcast_patch t payload changes =
   t.patches <- t.patches + 1;
-  Log.info (fun m ->
-      m "controller H%d: broadcasting topology patch #%d" (Agent.self t.agent) t.patches);
   let self = Agent.self t.agent in
-  let others = Array.of_list t.others in
-  (* The re-query storm, absorbed as one batch: every host's fresh path
-     graph back to the controller, computed through the pool before any
-     frame goes out. Send order is unchanged from the sequential code. *)
-  let graphs = serve_batch t (Array.map (fun h -> (h, self)) others) in
-  Array.iteri
-    (fun i h ->
-      ignore (Agent.send_payload t.agent ~dst:h payload);
-      match graphs.(i) with
-      | Some pg ->
-        ignore
-          (Agent.send_payload t.agent ~dst:h (Payload.Path_response (Pathgraph.to_wire pg)))
-      | None -> ())
-    others
+  let affected = affected_pairs t changes in
+  Log.info (fun m ->
+      m "controller H%d: broadcasting topology patch #%d (%d/%d pairs re-pushed)"
+        (Agent.self t.agent) t.patches (List.length affected) (Hashtbl.length t.pushed));
+  List.iter (fun h -> ignore (Agent.send_payload t.agent ~dst:h payload)) t.others;
+  match affected with
+  | [] -> ()
+  | _ :: _ ->
+    t.repair_rounds <- t.repair_rounds + 1;
+    let queries = Array.of_list affected in
+    let graphs = serve_batch t queries in
+    Array.iteri
+      (fun i (src, dst) ->
+        match graphs.(i) with
+        | Some pg ->
+          t.repushed_pairs <- t.repushed_pairs + 1;
+          record_push t ~src ~dst pg;
+          if src <> self then
+            ignore
+              (Agent.send_payload t.agent ~dst:src
+                 (Payload.Path_response (Pathgraph.to_wire pg)))
+        | None ->
+          (* Currently unroutable (partition): retire the subscription;
+             the host re-queries once a restore patch arrives. *)
+          unsubscribe t (src, dst))
+      queries
 
 let journal t changes =
   List.iter (fun change -> ignore (Replica.append t.replicas change)) changes
@@ -113,8 +223,26 @@ let flush_patch t =
   match Topo_store.take_patch t.store with
   | Some (Payload.Topo_patch { changes; _ } as payload) ->
     journal t changes;
-    broadcast_patch t payload
+    broadcast_patch t payload changes
   | Some _ | None -> ()
+
+(* Burst coalescing: with [coalesce_ns] set, an applied event arms one
+   deferred flush instead of patching immediately; every further event
+   landing inside the window joins the same pending-change list, so
+   the burst leaves as ONE combined patch and one delta re-push. *)
+let schedule_flush t =
+  match t.coalesce_ns with
+  | None -> flush_patch t
+  | Some delay ->
+    if not t.flush_scheduled then begin
+      t.flush_scheduled <- true;
+      let engine = Dumbnet_sim.Network.engine (Agent.network t.agent) in
+      Dumbnet_sim.Engine.schedule_at engine
+        ~at_ns:(Dumbnet_sim.Engine.now engine + delay)
+        (fun () ->
+          t.flush_scheduled <- false;
+          flush_patch t)
+    end
 
 (* A port-up on a cable the store has never seen: rediscover it with
    targeted probes (§4.2 "the controller will probe the ports to
@@ -176,35 +304,44 @@ let probe_new_link t le =
 let on_event t event =
   match Topo_store.apply_event t.store event with
   | Topo_store.Applied ->
-    (* The graph mutation already made the memoized distance maps
-       stale (generation mismatch); dropping them here keeps the
-       cache's lifetime visible and the log line honest. *)
-    Topo_store.invalidate_dist_cache t.store;
-    let hits, misses = Topo_store.dist_cache_stats t.store in
+    (* apply_event already repaired the distance cache in place —
+       surgically evicting only the tables the event's cable could
+       have changed — so nothing is dropped here anymore. *)
+    let r = Topo_store.repair_stats t.store in
     Log.debug (fun m ->
-        m "controller H%d: distance cache invalidated (lifetime %d hits / %d misses)"
-          (Agent.self t.agent) hits misses);
-    flush_patch t
+        m "controller H%d: scoped cache repair (lifetime %d evicted / %d retained tables)"
+          (Agent.self t.agent) r.Topo_store.evicted_roots r.Topo_store.retained_roots);
+    schedule_flush t
   | Topo_store.Ignored -> ()
   | Topo_store.Needs_probe le -> probe_new_link t le
 
 let default_query_service_ns = 40_000
 
 let create ?(replicas = 3) ?(s = 2) ?(eps = 1) ?(jobs = 1)
-    ?(query_service_ns = default_query_service_ns) ~agent ~topology ~hosts () =
+    ?(query_service_ns = default_query_service_ns) ?coalesce_ns ?eager_repair ~agent
+    ~topology ~hosts () =
   if jobs < 1 then invalid_arg "Controller.create: jobs must be >= 1";
+  (match coalesce_ns with
+  | Some d when d < 0 -> invalid_arg "Controller.create: coalesce_ns must be >= 0"
+  | Some _ | None -> ());
   let self = Agent.self agent in
   let t =
     {
       agent;
-      store = Topo_store.create topology;
+      store = Topo_store.create ?eager_repair topology;
       replicas = Replica.create ~replicas;
       s;
       eps;
       jobs;
       query_service_ns;
+      coalesce_ns;
       others = List.filter (fun h -> h <> self) hosts;
+      pushed = Hashtbl.create 256;
+      subs = Hashtbl.create 256;
       patches = 0;
+      repair_rounds = 0;
+      repushed_pairs = 0;
+      flush_scheduled = false;
       busy_until_ns = 0;
       prober = None;
     }
@@ -224,6 +361,9 @@ let create ?(replicas = 3) ?(s = 2) ?(eps = 1) ?(jobs = 1)
       Engine.schedule_at engine ~at_ns:finish (fun () ->
           match serve t ~src:requester ~dst:target with
           | Some pg ->
+            (* The requester will cache this graph, so it joins the
+               repair ledger: a failure crossing it re-pushes it. *)
+            if requester <> self then record_push t ~src:requester ~dst:target pg;
             ignore
               (Agent.send_payload agent ~dst:requester
                  (Payload.Path_response (Pathgraph.to_wire pg)))
@@ -247,10 +387,12 @@ let bootstrap_push t =
   in
   let graphs = serve_batch t queries in
   let cursor = ref 0 in
-  let send_next h =
+  let send_next ~src ~dst =
     (match graphs.(!cursor) with
     | Some pg ->
-      ignore (Agent.send_payload t.agent ~dst:h (Payload.Path_response (Pathgraph.to_wire pg)))
+      record_push t ~src ~dst pg;
+      ignore
+        (Agent.send_payload t.agent ~dst:src (Payload.Path_response (Pathgraph.to_wire pg)))
     | None -> ());
     incr cursor
   in
@@ -258,8 +400,8 @@ let bootstrap_push t =
     (fun (h, peers) ->
       ignore (Agent.send_payload t.agent ~dst:h (Payload.Controller_hello { controller = self }));
       ignore (Agent.send_payload t.agent ~dst:h (Payload.Peer_list { peers }));
-      send_next h;
-      List.iter (fun _peer -> send_next h) peers)
+      send_next ~src:h ~dst:self;
+      List.iter (fun peer -> send_next ~src:h ~dst:peer) peers)
     plans
 
 let set_prober t prober = t.prober <- Some prober

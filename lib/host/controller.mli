@@ -20,6 +20,8 @@ val create :
   ?eps:int ->
   ?jobs:int ->
   ?query_service_ns:int ->
+  ?coalesce_ns:int ->
+  ?eager_repair:bool ->
   agent:Agent.t ->
   topology:Graph.t ->
   hosts:host_id list ->
@@ -32,11 +34,22 @@ val create :
     [jobs] (default 1) is the controller's path-graph parallelism: the
     bootstrap push and every post-failure re-push batch their queries
     through a domain pool of that size
-    ({!Dumbnet_control.Topo_store.serve_path_graphs}). Answers are
-    byte-identical whatever the value; [jobs = 1] never spawns a
-    domain. [query_service_ns] (default 40 µs) is the controller's
-    per-query service time for {e interactive} queries — those still
-    queue in arrival order (the Fig 10 tail). *)
+    ({!Dumbnet_control.Topo_store.serve_path_graphs}) — when the batch
+    is large enough to amortize the spawns
+    ({!Dumbnet_util.Pool.worthwhile}); smaller batches run inline.
+    Answers are byte-identical whatever the value; [jobs = 1] never
+    spawns a domain. [query_service_ns] (default 40 µs) is the
+    controller's per-query service time for {e interactive} queries —
+    those still queue in arrival order (the Fig 10 tail).
+
+    [coalesce_ns] (default off) arms burst coalescing: an applied link
+    event schedules the patch flush that many simulated nanoseconds
+    out instead of flushing inline, so every event landing inside the
+    window leaves as one combined patch and one delta re-push. With it
+    unset, each applied event patches immediately (the historical
+    behavior). [eager_repair] is forwarded to
+    {!Dumbnet_control.Topo_store.create}: evicted distance tables are
+    recomputed on the spot instead of on first use. *)
 
 val jobs : t -> int
 (** The controller's batch parallelism (1 = sequential). *)
@@ -59,6 +72,30 @@ val serve : t -> src:host_id -> dst:host_id -> Pathgraph.t option
     service). *)
 
 val patches_sent : t -> int
+
+(** {1 Incremental failure repair}
+
+    The controller keeps a ledger of every path graph it has pushed
+    (bootstrap, interactive query responses, repairs) and an inverted
+    index from each cable to the pairs whose generated subgraph
+    contains it. A failure patch regenerates and re-sends {e only} the
+    subscribed pairs — one batch, pooled when worthwhile — leaving
+    every untouched pair's cache live; restore/discovery patches
+    re-push nothing. *)
+
+type repush_stats = {
+  repair_rounds : int;  (** patches that carried a delta re-push *)
+  repushed_pairs : int;  (** cumulative pairs regenerated and re-sent *)
+  cached_pairs : int;  (** pairs currently in the ledger *)
+}
+
+val repush_stats : t -> repush_stats
+
+val cached_pairs : t -> (host_id * host_id) list
+(** The ledger's pairs, sorted — the delta re-push's universe. *)
+
+val cached_graph : t -> src:host_id -> dst:host_id -> Pathgraph.t option
+(** The exact graph the controller last pushed for a pair. *)
 
 val set_prober : t -> Dumbnet_control.Discovery.prober -> unit
 (** Arm the probing subsystem used to rediscover newly-added cables

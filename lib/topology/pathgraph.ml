@@ -10,6 +10,11 @@ type t = {
   (* Cached subgraph as symmetric adjacency: sw -> (out, peer, peer_in).
      Mutable so hosts can patch failures out without a reallocation. *)
   adj : (switch_id, (port * switch_id * port) list ref) Hashtbl.t;
+  (* The subgraph's cables as generated — the controller's link →
+     subscribed-pair repair index keys on this set. Deliberately NOT
+     maintained by [mark_link_down]/[mark_switch_down]: a failure
+     notice must still find the pairs whose graph covered the link. *)
+  links : Link_set.t;
 }
 
 let src t = t.src
@@ -31,6 +36,19 @@ let adjacency t sw =
 
 let link_count t =
   Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.adj 0 / 2
+
+let links t = t.links
+
+(* The canonical link set of a freshly built adjacency table (each
+   cable once, via [Link_key.make]'s ordering). *)
+let links_of_adj adj =
+  Hashtbl.fold
+    (fun sw l acc ->
+      List.fold_left
+        (fun acc (out, peer, peer_in) ->
+          Link_set.add (Link_key.make { sw; port = out } { sw = peer; port = peer_in }) acc)
+        acc !l)
+    adj Link_set.empty
 
 let contains_link t key =
   let a, b = Link_key.ends key in
@@ -148,7 +166,17 @@ let generate ?(s = default_s) ?(eps = default_eps) ?rng ?dist g ~src ~dst =
         Switch_set.iter
           (fun sw -> if not (Hashtbl.mem adj sw) then Hashtbl.replace adj sw (ref []))
           !vertices;
-        Some { src; dst; src_loc; dst_loc; primary = primary_path; backup = backup_path; adj }))
+        Some
+          {
+            src;
+            dst;
+            src_loc;
+            dst_loc;
+            primary = primary_path;
+            backup = backup_path;
+            adj;
+            links = links_of_adj adj;
+          }))
 
 let mark_link_down t key =
   let a, b = Link_key.ends key in
@@ -296,6 +324,7 @@ let of_wire w =
     primary = w.w_primary;
     backup = w.w_backup;
     adj;
+    links = links_of_adj adj;
   }
 
 let merge a b =
@@ -313,7 +342,7 @@ let merge a b =
   in
   add_all a;
   add_all b;
-  { a with adj }
+  { a with adj; links = Link_set.union a.links b.links }
 
 let pp ppf t =
   Format.fprintf ppf "pathgraph H%d->H%d: primary=%a backup=%s switches=%d links=%d" t.src t.dst

@@ -49,6 +49,14 @@ val switches : t -> Switch_set.t
 
 val contains_link : t -> Link_key.t -> bool
 
+val links : t -> Link_set.t
+(** The cable set of the subgraph {e as generated}. Unlike
+    {!contains_link} it is not affected by {!mark_link_down} /
+    {!mark_switch_down}: the controller's link → subscribed-pair
+    repair index keys on the generation-time set, so a failure notice
+    still finds every pair whose cached graph covered the link.
+    [merge] unions the sets; [of_wire] rebuilds from the wire edges. *)
+
 val adjacency : t -> Path.adjacency
 
 val mark_link_down : t -> Link_key.t -> unit

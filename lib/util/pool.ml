@@ -22,13 +22,28 @@ type t = {
   mutable alive : bool;
 }
 
+(* Past ~8 workers the path-graph batches this pool exists for are
+   memory-bound — more domains just shred the shared caches — so the
+   implicit default stops there. An explicit DUMBNET_JOBS still goes as
+   wide as asked. *)
+let max_default_jobs = 8
+
 let default_jobs () =
+  let derived = min (Domain.recommended_domain_count ()) max_default_jobs in
   match Sys.getenv_opt "DUMBNET_JOBS" with
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some j when j >= 1 -> j
-    | Some _ | None -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+    | Some _ | None -> derived)
+  | None -> derived
+
+(* Spawning (or even waking) a domain costs on the order of tens of
+   microseconds — comparable to a handful of path-graph generations. A
+   batch smaller than this many items per worker loses more to fan-out
+   than it gains, so callers fall through to the sequential path. *)
+let min_items_per_worker = 16
+
+let worthwhile ~jobs ~items = jobs > 1 && items >= jobs * min_items_per_worker
 
 (* Worker body: park on the condition until handed a closure (or told
    to stop), run it outside the lock, publish the outcome, repeat. *)

@@ -21,9 +21,27 @@
 
 type t
 
+val max_default_jobs : int
+(** Cap on the implicit parallelism: {!default_jobs} never answers more
+    than this (currently 8) on its own — the batch workloads the pool
+    serves are memory-bound beyond that. An explicit [DUMBNET_JOBS]
+    may exceed it. *)
+
 val default_jobs : unit -> int
 (** The [DUMBNET_JOBS] environment variable if set to a positive
-    integer, else [Domain.recommended_domain_count ()]. *)
+    integer, else [Domain.recommended_domain_count ()] capped at
+    {!max_default_jobs}. *)
+
+val min_items_per_worker : int
+(** Smallest batch share per worker for which fan-out beats running
+    sequentially (see {!worthwhile}). *)
+
+val worthwhile : jobs:int -> items:int -> bool
+(** [worthwhile ~jobs ~items] is [true] when a batch of [items] is
+    large enough to amortize handing chunks to [jobs] workers
+    ([items >= jobs * min_items_per_worker] and [jobs > 1]). Batch
+    callers use it to fall through to the sequential path — results
+    are byte-identical either way, only the wall-clock differs. *)
 
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs] defaults

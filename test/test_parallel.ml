@@ -13,13 +13,20 @@ let check = Alcotest.check
 (* --- pool mechanics --- *)
 
 let test_default_jobs_env () =
+  let derived = min (Domain.recommended_domain_count ()) Pool.max_default_jobs in
   Unix.putenv "DUMBNET_JOBS" "3";
   check Alcotest.int "env wins" 3 (Pool.default_jobs ());
   Unix.putenv "DUMBNET_JOBS" "0";
-  check Alcotest.int "non-positive ignored" (Domain.recommended_domain_count ())
-    (Pool.default_jobs ());
+  check Alcotest.int "non-positive ignored" derived (Pool.default_jobs ());
   Unix.putenv "DUMBNET_JOBS" "";
-  check Alcotest.int "empty ignored" (Domain.recommended_domain_count ()) (Pool.default_jobs ())
+  check Alcotest.int "empty ignored" derived (Pool.default_jobs ())
+
+let test_worthwhile () =
+  check Alcotest.bool "jobs=1 never" false (Pool.worthwhile ~jobs:1 ~items:10_000);
+  check Alcotest.bool "tiny batch falls through" false
+    (Pool.worthwhile ~jobs:4 ~items:(4 * Pool.min_items_per_worker - 1));
+  check Alcotest.bool "big batch fans out" true
+    (Pool.worthwhile ~jobs:4 ~items:(4 * Pool.min_items_per_worker))
 
 let test_pool_chunks_cover () =
   (* Every index is visited exactly once, whatever the jobs/n ratio —
@@ -160,6 +167,7 @@ let () =
       ( "pool",
         [
           Alcotest.test_case "DUMBNET_JOBS parsing" `Quick test_default_jobs_env;
+          Alcotest.test_case "worthwhile heuristic" `Quick test_worthwhile;
           Alcotest.test_case "chunks cover exactly once" `Quick test_pool_chunks_cover;
           Alcotest.test_case "parallel_map preserves order" `Quick test_parallel_map_order;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagation;
