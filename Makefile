@@ -1,4 +1,4 @@
-.PHONY: all build test check lint fmt bench bench-perf clean
+.PHONY: all build test check lint fmt bench bench-perf bench-survivability diagnose clean
 
 all: build
 
@@ -29,6 +29,19 @@ bench:
 # CI uses `-- perf --quick` with a loosened regression gate instead.
 bench-perf:
 	dune exec bench/main.exe -- perf
+
+# Failure waves + hidden-fault localization; writes
+# BENCH_SURVIVABILITY.json. Full schedules — CI uses `--quick`, which
+# also gates (wave-1 reachability and exact localization).
+bench-survivability:
+	dune exec bench/main.exe -- survivability
+
+# End-to-end demo of the diagnosis engine: inject a hidden fault the
+# controller never hears about, localize it to the exact cable.
+# FAULT is silent | miswire | corrupt.
+FAULT ?= silent
+diagnose:
+	dune exec bin/dumbnet_cli.exe -- diagnose --topo fat-tree:8 --fault $(FAULT) -v
 
 clean:
 	dune clean

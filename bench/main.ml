@@ -20,6 +20,9 @@ let experiments =
     ("ablations", "design-choice ablations (cache, two-stage, TE, prior)", E.Ablations.run);
     ("telemetry", "in-band telemetry: accuracy, gray failures, TE", E.Telemetry_exp.run);
     ("perf", "hot-path and failure-repair microbenchmarks, writes BENCH_PERF.json", E.Perf.run);
+    ( "survivability",
+      "failure waves + hidden-fault localization, writes BENCH_SURVIVABILITY.json",
+      E.Survivability.run );
   ]
 
 let run_one name =
@@ -36,13 +39,14 @@ let list_experiments () =
   List.iter (fun (n, d, _) -> Printf.printf "  %-10s %s\n" n d) experiments
 
 let () =
-  (* Flags apply to the named experiments; today only `perf` has any:
-     --quick shrinks budgets and arms the regression gate, --jobs N
-     (or DUMBNET_JOBS) adds a pool width to the scaling curve. *)
+  (* Flags apply to the named experiments: --quick shrinks budgets and
+     arms the regression gates (perf and survivability), --jobs N
+     (or DUMBNET_JOBS) adds a pool width to perf's scaling curve. *)
   let rec strip_flags = function
     | [] -> []
     | "--quick" :: rest ->
       E.Perf.quick := true;
+      E.Survivability.quick := true;
       strip_flags rest
     | "--jobs" :: n :: rest when int_of_string_opt n <> None ->
       E.Perf.jobs_override := int_of_string_opt n;

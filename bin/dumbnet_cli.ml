@@ -366,10 +366,166 @@ let telemetry_cmd =
       const telemetry_run $ topo_arg $ seed_arg $ jobs_arg $ telemetry_duration_arg
       $ verbose_arg)
 
+(* --- diagnose subcommand --- *)
+
+(* Inject a fault the control plane cannot see (no port transition, no
+   notice, no alarm), then let the diagnosis engine localize it from
+   probe-program outcomes alone. Exit 0 iff the verdict names exactly
+   the faulted cable. *)
+let diagnose_run spec seed fault_kind verbose =
+  apply_verbosity verbose;
+  with_topology spec seed (fun built ->
+      let module Network = Dumbnet.Sim.Network in
+      let module Topocache = Dumbnet.Host.Topocache in
+      let module Prober = Dumbnet.Telemetry.Prober in
+      let module Localizer = Dumbnet.Diagnosis.Localizer in
+      let fab = Fabric.create ~seed built in
+      let hosts = built.Builder.hosts in
+      let observer =
+        match List.filter (fun h -> h <> built.Builder.controller) hosts with
+        | h :: _ -> h
+        | [] -> built.Builder.controller
+      in
+      let agent = Fabric.agent fab observer in
+      (* Warm the observer's path caches before the fault lands, so
+         diagnosis works from what a live host would actually hold. *)
+      List.iter (fun dst -> if dst <> observer then ignore (Agent.query_path agent ~dst)) hosts;
+      Fabric.run fab;
+      let engine = Fabric.engine fab in
+      let net = Fabric.network fab in
+      let g = Network.graph net in
+      let rng = Dumbnet.Util.Rng.create (seed + 5) in
+      let cache = Agent.topocache agent in
+      (* A destination whose cached primary crosses at least one fabric
+         cable, picked at random. *)
+      let candidates =
+        List.filter_map
+          (fun dst ->
+            if dst = observer then None
+            else
+              match Topocache.get cache ~dst with
+              | None -> None
+              | Some pg -> (
+                let path = Pathgraph.primary pg in
+                match Prober.path_legs ~adj:(Pathgraph.adjacency pg) path with
+                | Some (_ :: _ as legs) -> Some (dst, legs)
+                | Some [] | None -> None))
+          hosts
+      in
+      match candidates with
+      | [] ->
+        Printf.eprintf "error: no cached multi-hop path to diagnose on this topology\n";
+        1
+      | _ :: _ -> (
+        let dst, legs = List.nth candidates (Dumbnet.Util.Rng.int rng (List.length candidates)) in
+        let leg = List.nth legs (Dumbnet.Util.Rng.int rng (List.length legs)) in
+        let target = Types.Link_key.make leg.Prober.leg_from leg.Prober.leg_to in
+        let on_path (le : Types.link_end) =
+          List.exists
+            (fun (l : Prober.leg) ->
+              (l.Prober.leg_from.sw = le.sw && l.Prober.leg_from.port = le.port)
+              || (l.Prober.leg_to.sw = le.sw && l.Prober.leg_to.port = le.port))
+            legs
+        in
+        let injected =
+          match fault_kind with
+          | `Silent ->
+            Network.set_cable_fault net leg.Prober.leg_from (Some Network.Silent_drop);
+            Some "silent drop"
+          | `Corrupt ->
+            Network.set_cable_fault net leg.Prober.leg_from
+              (Some (Network.Corrupting { rate = 0.5; seed = seed + 11 }));
+            Some "corrupting (rate 0.5)"
+          | `Miswire -> (
+            let partner =
+              List.filter_map
+                (fun (key, up) ->
+                  if not up then None
+                  else
+                    let a, b = Types.Link_key.ends key in
+                    if (not (on_path a)) && not (on_path b) then Some a else None)
+                (Graph.switch_links g)
+            in
+            match partner with
+            | [] -> None
+            | _ :: _ ->
+              let p = List.nth partner (Dumbnet.Util.Rng.int rng (List.length partner)) in
+              Network.rewire_swap net leg.Prober.leg_from p;
+              Some "miswired cable pair")
+        in
+        match injected with
+        | None ->
+          Printf.eprintf "error: no off-path cable available to miswire against\n";
+          1
+        | Some desc ->
+          let a, b = Types.Link_key.ends target in
+          Format.printf "hidden fault: %s on %a<->%a (path H%d -> H%d, %d cables)@." desc
+            Types.pp_link_end a Types.pp_link_end b observer dst (List.length legs);
+          let ep =
+            Dumbnet.Telemetry.Endpoint.attach ~probing:false ~watching:false ~engine ~agent ()
+          in
+          let loc =
+            Localizer.create ~engine ~agent ~prober:(Dumbnet.Telemetry.Endpoint.prober ep) ()
+          in
+          let verdict = ref None in
+          let launched = Localizer.diagnose loc ~dst ~on_done:(fun v -> verdict := Some v) in
+          if not launched then begin
+            Printf.eprintf "error: could not launch diagnosis\n";
+            1
+          end
+          else begin
+            Fabric.run ~for_ns:500_000_000 fab;
+            match !verdict with
+            | None ->
+              print_endline "no verdict (probes still outstanding?)";
+              1
+            | Some v ->
+              Format.printf "verdict: %a@." Localizer.pp_verdict v;
+              let named =
+                match v.Localizer.v_class with
+                | Localizer.Silent_drop { near; far }
+                | Localizer.Miswired { near; far; _ }
+                | Localizer.Degraded { near; far; _ } ->
+                  Some (Types.Link_key.make near far)
+                | Localizer.Healthy | Localizer.Inconclusive -> None
+              in
+              (match named with
+              | Some key when Types.Link_key.compare key target = 0 ->
+                print_endline "localization: EXACT (verdict names the faulted cable)";
+                0
+              | Some key ->
+                let a', b' = Types.Link_key.ends key in
+                Format.printf "localization: WRONG cable (%a<->%a)@." Types.pp_link_end a'
+                  Types.pp_link_end b';
+                1
+              | None ->
+                print_endline "localization: MISSED (no cable named)";
+                1)
+          end))
+
+let fault_arg =
+  let kind_conv =
+    Arg.enum [ ("silent", `Silent); ("miswire", `Miswire); ("corrupt", `Corrupt) ]
+  in
+  Arg.(
+    value & opt kind_conv `Silent
+    & info [ "fault" ] ~docv:"KIND"
+        ~doc:"Hidden fault to inject: $(b,silent) (eats every frame), $(b,miswire) (swap two \
+              cables' far ends), or $(b,corrupt) (drop half the frames).")
+
+let diagnose_cmd =
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:
+         "Inject a hidden forwarding-plane fault (no alarms anywhere) and localize it with \
+          probe programs; exits 0 iff the verdict names exactly the faulted cable.")
+    Term.(const diagnose_run $ topo_arg $ seed_arg $ fault_arg $ verbose_arg)
+
 (* --- bench subcommand --- *)
 
 let bench_run quick jobs names =
   Dumbnet_experiments.Perf.quick := quick;
+  Dumbnet_experiments.Survivability.quick := quick;
   Dumbnet_experiments.Perf.jobs_override := jobs;
   let experiments =
     [
@@ -387,6 +543,7 @@ let bench_run quick jobs names =
       ("ablations", Dumbnet_experiments.Ablations.run);
       ("telemetry", Dumbnet_experiments.Telemetry_exp.run);
       ("perf", Dumbnet_experiments.Perf.run);
+      ("survivability", Dumbnet_experiments.Survivability.run);
     ]
   in
   match names with
@@ -434,4 +591,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ topo_cmd; discover_cmd; simulate_cmd; repair_cmd; telemetry_cmd; bench_cmd ]))
+          [
+            topo_cmd;
+            discover_cmd;
+            simulate_cmd;
+            repair_cmd;
+            telemetry_cmd;
+            diagnose_cmd;
+            bench_cmd;
+          ]))

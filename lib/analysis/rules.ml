@@ -309,12 +309,20 @@ let check_r4_alloc ctx fn =
 
 let ethertype_literals = [ "0x9800"; "0x9801" ]
 
+(* The probe-program opcodes are wire bytes exactly like the
+   EtherTypes: a second definition that drifts from the interpreter's
+   is a silent protocol fork. *)
+let probe_opcode_literals = [ "0xa1"; "0xa2"; "0xa3" ]
+
 let check_r5_const ctx e =
   if not ctx.skip_wire then
     match int_literal_text e with
     | Some txt when List.mem txt ethertype_literals ->
       emit ctx ~loc:e.pexp_loc ~rule:"R5" ~severity:Diagnostic.Error
         "EtherType literal %s re-hardcoded; use Constants.ethertype_*" txt
+    | Some txt when List.mem txt probe_opcode_literals ->
+      emit ctx ~loc:e.pexp_loc ~rule:"R5" ~severity:Diagnostic.Error
+        "probe-program opcode literal %s re-hardcoded; use Constants.probe_op_*" txt
     | _ -> ()
 
 let check_r5_comparison ctx fn args =
@@ -462,6 +470,13 @@ let make_iterator ctx =
       emit ctx ~loc:p.ppat_loc ~rule:"R5" ~severity:Diagnostic.Error
         "pattern-matching on literal 0xFF; compare against Constants.tag_end_of_path \
          instead"
+    | Ppat_constant (Pconst_integer (txt, _))
+      when (not ctx.skip_wire) && List.mem (String.lowercase_ascii txt) probe_opcode_literals
+      ->
+      emit ctx ~loc:p.ppat_loc ~rule:"R5" ~severity:Diagnostic.Error
+        "pattern-matching on probe-program opcode literal %s; dispatch on \
+         Constants.probe_op_* instead"
+        (String.lowercase_ascii txt)
     | _ -> ());
     default_iterator.pat it p
   in

@@ -12,6 +12,7 @@ module Sim = Dumbnet_sim
 module Control = Dumbnet_control
 module Host = Dumbnet_host
 module Telemetry = Dumbnet_telemetry
+module Diagnosis = Dumbnet_diagnosis
 module Ext = Dumbnet_ext
 module Baseline = Dumbnet_baseline
 module Workload = Dumbnet_workload

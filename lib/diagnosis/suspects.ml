@@ -1,0 +1,75 @@
+open Dumbnet_topology
+open Types
+
+type cell = {
+  mutable covers : int;
+  mutable fails : int;
+}
+
+type t = { tbl : (Link_key.t, cell) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let clear t = Hashtbl.reset t.tbl
+
+let cell t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some c -> c
+  | None ->
+    let c = { covers = 0; fails = 0 } in
+    Hashtbl.replace t.tbl key c;
+    c
+
+let observe t ~covered ~ok =
+  List.iter
+    (fun key ->
+      let c = cell t key in
+      c.covers <- c.covers + 1;
+      if not ok then c.fails <- c.fails + 1)
+    covered
+
+let observed t = Hashtbl.length t.tbl
+
+type ranked = {
+  r_key : Link_key.t;
+  r_covers : int;
+  r_fails : int;
+  r_fail_frac : float;
+}
+
+let ranking t =
+  let rows =
+    Hashtbl.fold
+      (fun key c acc ->
+        if c.fails = 0 then acc
+        else
+          {
+            r_key = key;
+            r_covers = c.covers;
+            r_fails = c.fails;
+            r_fail_frac = float_of_int c.fails /. float_of_int (max 1 c.covers);
+          }
+          :: acc)
+      t.tbl []
+  in
+  List.sort
+    (fun a b ->
+      match compare b.r_fail_frac a.r_fail_frac with
+      | 0 -> (
+        match compare b.r_fails a.r_fails with
+        | 0 -> Link_key.compare a.r_key b.r_key
+        | c -> c)
+      | c -> c)
+    rows
+
+let top t =
+  match ranking t with
+  | [] -> None
+  | r :: _ -> Some r
+
+let consistent_culprits t =
+  List.filter (fun r -> r.r_fails = r.r_covers) (ranking t)
+
+let pp_ranked ppf r =
+  Format.fprintf ppf "%a %d/%d (%.0f%%)" Link_key.pp r.r_key r.r_fails r.r_covers
+    (100. *. r.r_fail_frac)

@@ -1,0 +1,47 @@
+(** Suspect-set accounting over probe outcomes (the Kozat-style set
+    cover, trivialized by DumbNet's known tag stacks).
+
+    In a conventional fabric, localizing a fault from probe outcomes
+    means solving a set-cover problem over rule tables. In DumbNet the
+    sender knows {e exactly} which cables every probe crossed, so the
+    same machinery reduces to counting: each probe charges a cover to
+    every cable on its route and a failure to those cables when it goes
+    unanswered. A hard fault is the cable whose failure count equals
+    its cover count; a probabilistic (corrupting) fault is the cable
+    with the highest failure fraction once enough batches accumulate. *)
+
+open Dumbnet_topology
+open Types
+
+type t
+
+val create : unit -> t
+
+val clear : t -> unit
+
+val observe : t -> covered:Link_key.t list -> ok:bool -> unit
+(** Account one probe outcome: every covered cable gains a cover, and a
+    failure too when [ok] is false. *)
+
+val observed : t -> int
+(** Number of distinct cables seen so far. *)
+
+type ranked = {
+  r_key : Link_key.t;
+  r_covers : int;
+  r_fails : int;
+  r_fail_frac : float;
+}
+
+val ranking : t -> ranked list
+(** Cables with at least one failure, most suspicious first (failure
+    fraction, then failure count, then canonical cable order). *)
+
+val top : t -> ranked option
+
+val consistent_culprits : t -> ranked list
+(** Cables that failed {e every} probe that covered them — the
+    intersection of the failed probes' cable sets minus every cable a
+    successful probe exonerated. *)
+
+val pp_ranked : Format.formatter -> ranked -> unit

@@ -1,0 +1,607 @@
+(** `bench survivability`: how much adversity the fabric absorbs before
+    it stops being a network — and how fast the diagnosis engine finds
+    the adversity it cannot see.
+
+    Three failure schedules run on a k=8 fat tree and a 64-switch
+    Jellyfish, cutting cables in cumulative waves until the host set
+    partitions (or the wave budget runs out):
+
+    - {e independent}: uniform random cable kills, the memoryless
+      baseline;
+    - {e correlated}: one random switch loses half its up cables per
+      wave — the pod-local blast radius of a bad linecard or a yanked
+      bundle;
+    - {e flapping}: cables go down, up, down again inside the
+      controller's coalescing window, the worst case for repair churn.
+
+    After every wave the harness measures ground-truth reachable host
+    pairs, the observer host's cached-path health (how many cached
+    primaries still validate, and their stretch vs the surviving
+    optimum), wall-clock repair latency, and the controller's delta
+    re-push volume — the survivability curve of PR 5's incremental
+    repair machinery.
+
+    A separate trial section injects hidden single-cable faults (silent
+    drops and miswirings the control plane cannot observe) and runs the
+    {!Dumbnet.Diagnosis.Localizer} against each, reporting localization
+    accuracy and probes-to-localization. Writes
+    BENCH_SURVIVABILITY.json; with [quick] set, the run fails unless
+    wave 1 keeps every host pair reachable on both topologies and every
+    injected fault is localized to exactly its cable. *)
+
+open Dumbnet_topology
+module Fabric = Dumbnet.Fabric
+module Agent = Dumbnet_host.Agent
+module Pathtable = Dumbnet_host.Pathtable
+module Controller = Dumbnet_host.Controller
+module Network = Dumbnet_sim.Network
+module Engine = Dumbnet_sim.Engine
+module Endpoint = Dumbnet_telemetry.Endpoint
+module Prober = Dumbnet_telemetry.Prober
+module Localizer = Dumbnet_diagnosis.Localizer
+module Rng = Dumbnet_util.Rng
+
+let quick = ref false
+
+let json_path = "BENCH_SURVIVABILITY.json"
+
+type schedule =
+  | Independent
+  | Correlated
+  | Flapping
+
+let all_schedules = [ Independent; Correlated; Flapping ]
+
+let schedule_name = function
+  | Independent -> "independent"
+  | Correlated -> "correlated"
+  | Flapping -> "flapping"
+
+type wave = {
+  w_index : int;
+  w_cut : int;  (** cables taken down by this wave *)
+  w_cum_cut : int;
+  w_reach_pct : float;  (** ground-truth reachable host pairs *)
+  w_valid_paths_pct : float;  (** observer's cached primaries that still validate *)
+  w_stretch_mean : float;  (** over valid cached primaries, vs surviving optimum *)
+  w_stretch_p99 : float;
+  w_repair_ms : float;  (** wall clock, wave injection -> quiescence *)
+  w_repushed : int;  (** path graphs the controller delta re-pushed *)
+}
+
+type sched_result = {
+  sr_topo : string;
+  sr_sched : schedule;
+  sr_waves : wave list;  (** in order *)
+  sr_partitioned : bool;
+}
+
+(* --- ground-truth reachability ---------------------------------------- *)
+
+let switch_components g =
+  let comp = Hashtbl.create 97 in
+  let c = ref 0 in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem comp s) then begin
+        let q = Queue.create () in
+        Queue.add s q;
+        Hashtbl.replace comp s !c;
+        while not (Queue.is_empty q) do
+          let u = Queue.pop q in
+          List.iter
+            (fun (_, v, _) ->
+              if not (Hashtbl.mem comp v) then begin
+                Hashtbl.replace comp v !c;
+                Queue.add v q
+              end)
+            (Graph.switch_neighbors g u)
+        done;
+        incr c
+      end)
+    (Graph.switch_ids g);
+  comp
+
+let reachable_pct g hosts =
+  let comp = switch_components g in
+  let hcomps =
+    List.filter_map
+      (fun h ->
+        match Graph.host_location g h with
+        | Some (le : Types.link_end) -> Hashtbl.find_opt comp le.Types.sw
+        | None -> None)
+      hosts
+  in
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let n =
+        match Hashtbl.find_opt counts c with
+        | Some n -> n
+        | None -> 0
+      in
+      Hashtbl.replace counts c (n + 1))
+    hcomps;
+  let n = List.length hcomps in
+  let total = n * (n - 1) / 2 in
+  let intra = Hashtbl.fold (fun _ k acc -> acc + (k * (k - 1) / 2)) counts 0 in
+  if total = 0 then 100. else 100. *. float_of_int intra /. float_of_int total
+
+let bfs_dist g ~src_sw ~dst_sw =
+  if src_sw = dst_sw then Some 0
+  else begin
+    let dist = Hashtbl.create 97 in
+    Hashtbl.replace dist src_sw 0;
+    let q = Queue.create () in
+    Queue.add src_sw q;
+    let found = ref None in
+    while !found = None && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      let du =
+        match Hashtbl.find_opt dist u with
+        | Some d -> d
+        | None -> 0
+      in
+      List.iter
+        (fun (_, v, _) ->
+          if not (Hashtbl.mem dist v) then begin
+            Hashtbl.replace dist v (du + 1);
+            if v = dst_sw then found := Some (du + 1);
+            Queue.add v q
+          end)
+        (Graph.switch_neighbors g u)
+    done;
+    !found
+  end
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0. else sorted.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+
+(* The observer's view after a wave: how many cached best paths still
+   walk the surviving fabric, and how far they wander from the new
+   optimum. Destinations the fabric itself can no longer reach are
+   excluded from both (they are the reachability metric's business). *)
+let observer_path_health g agent ~observer dsts =
+  let pt = Agent.pathtable agent in
+  let obs_sw =
+    match Graph.host_location g observer with
+    | Some (le : Types.link_end) -> le.Types.sw
+    | None -> invalid_arg "observer not attached"
+  in
+  let considered = ref 0 in
+  let valid = ref 0 in
+  let stretches = ref [] in
+  List.iter
+    (fun dst ->
+      if dst <> observer then
+        match Graph.host_location g dst with
+        | None -> ()
+        | Some (dle : Types.link_end) -> (
+          match bfs_dist g ~src_sw:obs_sw ~dst_sw:dle.Types.sw with
+          | None -> () (* physically partitioned: not a caching failure *)
+          | Some d ->
+            incr considered;
+            let optimal = d + 1 in
+            (match Pathtable.paths_to pt ~dst with
+            | p :: _ when Path.validate g p ->
+              incr valid;
+              stretches :=
+                (float_of_int (Path.length p) /. float_of_int optimal) :: !stretches
+            | _ :: _ | [] -> ())))
+    dsts;
+  let sorted = Array.of_list (List.sort compare !stretches) in
+  let mean =
+    if Array.length sorted = 0 then 0.
+    else Array.fold_left ( +. ) 0. sorted /. float_of_int (Array.length sorted)
+  in
+  let valid_pct =
+    if !considered = 0 then 100. else 100. *. float_of_int !valid /. float_of_int !considered
+  in
+  (valid_pct, mean, percentile sorted 0.99)
+
+(* --- failure schedules ------------------------------------------------ *)
+
+let up_cables g = List.filter_map (fun (key, up) -> if up then Some key else None) (Graph.switch_links g)
+
+let pick_distinct rng n pool =
+  let arr = Array.of_list pool in
+  let len = Array.length arr in
+  if len = 0 then []
+  else begin
+    let perm = Rng.permutation rng len in
+    List.init (min n len) (fun i -> arr.(perm.(i)))
+  end
+
+(* One wave's worth of cable kills for the schedule; returns the cables
+   taken (permanently) down. The flapping schedule additionally drives
+   each cable through a down/up/down cycle inside the coalescing
+   window before leaving it down. *)
+let inject_wave fab rng sched ~per_wave =
+  let g = Network.graph (Fabric.network fab) in
+  let eng = Fabric.engine fab in
+  let now = Fabric.now_ns fab in
+  match sched with
+  | Independent ->
+    let victims = pick_distinct rng per_wave (up_cables g) in
+    List.iter
+      (fun key ->
+        let le, _ = Types.Link_key.ends key in
+        Fabric.fail_link fab le)
+      victims;
+    victims
+  | Correlated ->
+    (* A switch-local blast: one random switch loses half its up
+       fabric cables at once. *)
+    let switches =
+      List.filter (fun s -> List.length (Graph.switch_neighbors g s) >= 2) (Graph.switch_ids g)
+    in
+    (match switches with
+    | [] -> []
+    | _ :: _ ->
+      let s = List.nth switches (Rng.int rng (List.length switches)) in
+      let cables =
+        List.map
+          (fun (port, peer, peer_port) ->
+            Types.Link_key.make { Types.sw = s; port } { Types.sw = peer; port = peer_port })
+          (Graph.switch_neighbors g s)
+      in
+      let victims = pick_distinct rng ((List.length cables + 1) / 2) cables in
+      List.iter
+        (fun key ->
+          let le, _ = Types.Link_key.ends key in
+          Fabric.fail_link fab le)
+        victims;
+      victims)
+  | Flapping ->
+    let victims = pick_distinct rng per_wave (up_cables g) in
+    List.iteri
+      (fun i key ->
+        let le, _ = Types.Link_key.ends key in
+        let t0 = now + (i * 100_000) in
+        Engine.schedule_at eng ~at_ns:t0 (fun () -> Fabric.fail_link fab le);
+        Engine.schedule_at eng ~at_ns:(t0 + 2_000_000) (fun () -> Fabric.restore_link fab le);
+        Engine.schedule_at eng ~at_ns:(t0 + 4_000_000) (fun () -> Fabric.fail_link fab le))
+      victims;
+    victims
+
+let max_waves () = if !quick then 2 else 8
+
+let cables_per_wave () = if !quick then 3 else 6
+
+let run_schedule ~topo_name built sched =
+  let coalesce_ns =
+    match sched with
+    | Flapping -> Some 500_000
+    | Independent | Correlated -> None
+  in
+  let fab = Fabric.create ~seed:29 ?coalesce_ns built in
+  let hosts = built.Builder.hosts in
+  let observer =
+    match List.filter (fun h -> h <> built.Builder.controller) hosts with
+    | h :: _ -> h
+    | [] -> built.Builder.controller
+  in
+  let agent = Fabric.agent fab observer in
+  List.iter (fun dst -> if dst <> observer then ignore (Agent.query_path agent ~dst)) hosts;
+  Fabric.run fab;
+  let ctrl = Fabric.controller fab in
+  let rng = Rng.create (1 + Hashtbl.hash (topo_name, schedule_name sched)) in
+  let g = Network.graph (Fabric.network fab) in
+  let waves = ref [] in
+  let cum = ref 0 in
+  let partitioned = ref false in
+  let wave_no = ref 0 in
+  while (not !partitioned) && !wave_no < max_waves () do
+    incr wave_no;
+    let r0 = Controller.repush_stats ctrl in
+    let t0 = Unix.gettimeofday () in
+    let victims = inject_wave fab rng sched ~per_wave:(cables_per_wave ()) in
+    Fabric.run fab;
+    let repair_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    let r1 = Controller.repush_stats ctrl in
+    cum := !cum + List.length victims;
+    let reach = reachable_pct g hosts in
+    let valid_pct, s_mean, s_p99 = observer_path_health g agent ~observer hosts in
+    if reach < 100. then partitioned := true;
+    waves :=
+      {
+        w_index = !wave_no;
+        w_cut = List.length victims;
+        w_cum_cut = !cum;
+        w_reach_pct = reach;
+        w_valid_paths_pct = valid_pct;
+        w_stretch_mean = s_mean;
+        w_stretch_p99 = s_p99;
+        w_repair_ms = repair_ms;
+        w_repushed = r1.Controller.repushed_pairs - r0.Controller.repushed_pairs;
+      }
+      :: !waves
+  done;
+  { sr_topo = topo_name; sr_sched = sched; sr_waves = List.rev !waves; sr_partitioned = !partitioned }
+
+(* --- hidden-fault localization trials --------------------------------- *)
+
+type loc_result = {
+  l_topo : string;
+  l_trials : int;
+  l_exact : int;  (** verdicts naming exactly the faulted cable *)
+  l_silent : int;  (** silent-drop trials (the rest are miswirings) *)
+  l_probes_mean : float;
+  l_probes_p99 : float;
+  l_batches_mean : float;
+}
+
+let off_path_partner g rng legs =
+  let on_path (le : Types.link_end) =
+    List.exists
+      (fun (l : Prober.leg) ->
+        (l.Prober.leg_from.Types.sw = le.Types.sw && l.Prober.leg_from.Types.port = le.Types.port)
+        || (l.Prober.leg_to.Types.sw = le.Types.sw && l.Prober.leg_to.Types.port = le.Types.port))
+      legs
+  in
+  let candidates =
+    List.filter_map
+      (fun (key, up) ->
+        if not up then None
+        else
+          let a, b = Types.Link_key.ends key in
+          if (not (on_path a)) && not (on_path b) then Some a else None)
+      (Graph.switch_links g)
+  in
+  match candidates with
+  | [] -> None
+  | _ :: _ -> Some (List.nth candidates (Rng.int rng (List.length candidates)))
+
+let localization_trials ~topo_name built ~trials =
+  let fab = Fabric.create ~seed:41 built in
+  let hosts = built.Builder.hosts in
+  let observer =
+    match List.filter (fun h -> h <> built.Builder.controller) hosts with
+    | h :: _ -> h
+    | [] -> built.Builder.controller
+  in
+  let agent = Fabric.agent fab observer in
+  List.iter (fun dst -> if dst <> observer then ignore (Agent.query_path agent ~dst)) hosts;
+  Fabric.run fab;
+  let engine = Fabric.engine fab in
+  let net = Fabric.network fab in
+  let g = Network.graph net in
+  let ep = Endpoint.attach ~probing:false ~watching:false ~engine ~agent () in
+  let prober = Endpoint.prober ep in
+  (* demote:false keeps the fabric's caches pristine between trials —
+     each trial sees the same healthy starting state. *)
+  let loc = Localizer.create ~demote:false ~engine ~agent ~prober () in
+  let rng = Rng.create 53 in
+  let cache = Agent.topocache agent in
+  let dsts =
+    List.filter
+      (fun d ->
+        d <> observer
+        &&
+        match Dumbnet_host.Topocache.get cache ~dst:d with
+        | Some pg -> (
+          match
+            Prober.path_legs
+              ~adj:(Pathgraph.adjacency pg)
+              (Pathgraph.primary pg)
+          with
+          | Some (_ :: _) -> true
+          | Some [] | None -> false)
+        | None -> false)
+      hosts
+  in
+  let exact = ref 0 in
+  let silent = ref 0 in
+  let probes = ref [] in
+  let batches = ref [] in
+  let ran = ref 0 in
+  for trial = 1 to trials do
+    match dsts with
+    | [] -> ()
+    | _ :: _ ->
+      let dst = List.nth dsts (Rng.int rng (List.length dsts)) in
+      (match Dumbnet_host.Topocache.get cache ~dst with
+      | None -> ()
+      | Some pg -> (
+        let path = Pathgraph.primary pg in
+        match Prober.path_legs ~adj:(Pathgraph.adjacency pg) path with
+        | None | Some [] -> ()
+        | Some legs ->
+          let leg = List.nth legs (Rng.int rng (List.length legs)) in
+          let target = Types.Link_key.make leg.Prober.leg_from leg.Prober.leg_to in
+          let want_miswire = trial mod 2 = 0 in
+          let partner = if want_miswire then off_path_partner g rng legs else None in
+          let undo =
+            match partner with
+            | Some p ->
+              Network.rewire_swap net leg.Prober.leg_from p;
+              fun () -> Network.rewire_swap net leg.Prober.leg_from p
+            | None ->
+              Network.set_cable_fault net leg.Prober.leg_from (Some Network.Silent_drop);
+              incr silent;
+              fun () -> Network.clear_faults net
+          in
+          incr ran;
+          let got = ref None in
+          let launched = Localizer.diagnose loc ~dst ~on_done:(fun v -> got := Some v) in
+          if launched then Fabric.run ~for_ns:200_000_000 fab;
+          undo ();
+          (match !got with
+          | None -> ()
+          | Some v ->
+            probes := float_of_int v.Localizer.v_probes :: !probes;
+            batches := float_of_int v.Localizer.v_batches :: !batches;
+            let named =
+              match v.Localizer.v_class with
+              | Localizer.Silent_drop { near; far } when partner = None ->
+                Some (Types.Link_key.make near far)
+              | Localizer.Miswired { near; far; _ } when partner <> None ->
+                Some (Types.Link_key.make near far)
+              | Localizer.Silent_drop _ | Localizer.Miswired _ | Localizer.Healthy
+              | Localizer.Degraded _ | Localizer.Inconclusive ->
+                None
+            in
+            (match named with
+            | Some key when Types.Link_key.compare key target = 0 -> incr exact
+            | Some _ | None -> ()))))
+  done;
+  let sorted = Array.of_list (List.sort compare !probes) in
+  let mean l =
+    match l with
+    | [] -> 0.
+    | _ :: _ -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  {
+    l_topo = topo_name;
+    l_trials = !ran;
+    l_exact = !exact;
+    l_silent = !silent;
+    l_probes_mean = mean !probes;
+    l_probes_p99 = percentile sorted 0.99;
+    l_batches_mean = mean !batches;
+  }
+
+(* --- harness ---------------------------------------------------------- *)
+
+let write_json results locs =
+  let oc = open_out json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"meta\": {\n";
+  p "    \"quick\": %b,\n" !quick;
+  p "    \"max_waves\": %d,\n" (max_waves ());
+  p "    \"cables_per_wave\": %d,\n" (cables_per_wave ());
+  p "    \"schedules\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun s -> Printf.sprintf "\"%s\"" (schedule_name s)) all_schedules));
+  p "    \"topologies\": [\"fat_tree_k8\", \"jellyfish_64\"]\n";
+  p "  },\n";
+  p "  \"survivability\": [\n";
+  let rec srows = function
+    | [] -> ()
+    | sr :: rest ->
+      p "    {\"topology\": \"%s\", \"schedule\": \"%s\", \"partitioned\": %b, \"waves\": [\n"
+        sr.sr_topo (schedule_name sr.sr_sched) sr.sr_partitioned;
+      let rec wrows = function
+        | [] -> ()
+        | w :: wrest ->
+          p "      {\"wave\": %d, \"cut\": %d, \"cum_cut\": %d, \"reach_pct\": %.2f, \
+             \"valid_paths_pct\": %.2f, \"stretch_mean\": %.3f, \"stretch_p99\": %.3f, \
+             \"repair_ms\": %.2f, \"repushed_pairs\": %d}%s\n"
+            w.w_index w.w_cut w.w_cum_cut w.w_reach_pct w.w_valid_paths_pct w.w_stretch_mean
+            w.w_stretch_p99 w.w_repair_ms w.w_repushed
+            (if wrest = [] then "" else ",");
+          wrows wrest
+      in
+      wrows sr.sr_waves;
+      p "    ]}%s\n" (if rest = [] then "" else ",");
+      srows rest
+  in
+  srows results;
+  p "  ],\n";
+  p "  \"localization\": [\n";
+  let rec lrows = function
+    | [] -> ()
+    | l :: rest ->
+      p "    {\"topology\": \"%s\", \"trials\": %d, \"exact\": %d, \"accuracy_pct\": %.1f, \
+         \"silent_drop_trials\": %d, \"miswire_trials\": %d, \"probes_mean\": %.1f, \
+         \"probes_p99\": %.1f, \"batches_mean\": %.2f}%s\n"
+        l.l_topo l.l_trials l.l_exact
+        (if l.l_trials = 0 then 0. else 100. *. float_of_int l.l_exact /. float_of_int l.l_trials)
+        l.l_silent (l.l_trials - l.l_silent) l.l_probes_mean l.l_probes_p99 l.l_batches_mean
+        (if rest = [] then "" else ",");
+      lrows rest
+  in
+  lrows locs;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+let run () =
+  Report.section ~id:"Survivability"
+    ~title:"failure waves, repair, and hidden-fault localization (BENCH_SURVIVABILITY.json)";
+  let ft8 = Builder.fat_tree ~k:8 () in
+  let jelly =
+    Builder.random_regular ~rng:(Rng.create 23) ~switches:64 ~degree:6 ~hosts_per_switch:1 ()
+  in
+  let topos = [ ("fat_tree_k8", ft8); ("jellyfish_64", jelly) ] in
+  let results =
+    List.concat_map
+      (fun (name, built) ->
+        List.map (fun sched -> run_schedule ~topo_name:name built sched) all_schedules)
+      topos
+  in
+  Report.table
+    ~headers:
+      [ "topology"; "schedule"; "wave"; "cables down"; "reachable"; "valid paths"; "stretch \
+         (mean/p99)"; "repair"; "re-pushed" ]
+    (List.concat_map
+       (fun sr ->
+         List.map
+           (fun w ->
+             [
+               sr.sr_topo;
+               schedule_name sr.sr_sched;
+               string_of_int w.w_index;
+               string_of_int w.w_cum_cut;
+               Report.pct w.w_reach_pct;
+               Report.pct w.w_valid_paths_pct;
+               Printf.sprintf "%.2f/%.2f" w.w_stretch_mean w.w_stretch_p99;
+               Report.ms w.w_repair_ms;
+               string_of_int w.w_repushed;
+             ])
+           sr.sr_waves)
+       results);
+  List.iter
+    (fun sr ->
+      if sr.sr_partitioned then
+        Report.note
+          (Printf.sprintf "%s/%s: partitioned after %d waves (%d cables)" sr.sr_topo
+             (schedule_name sr.sr_sched)
+             (List.length sr.sr_waves)
+             (match List.rev sr.sr_waves with
+             | w :: _ -> w.w_cum_cut
+             | [] -> 0)))
+    results;
+  let trials = if !quick then 6 else 16 in
+  let locs = List.map (fun (name, built) -> localization_trials ~topo_name:name built ~trials) topos in
+  Report.table
+    ~headers:[ "topology"; "trials"; "exact"; "accuracy"; "probes (mean/p99)"; "batches" ]
+    (List.map
+       (fun l ->
+         [
+           l.l_topo;
+           string_of_int l.l_trials;
+           string_of_int l.l_exact;
+           (if l.l_trials = 0 then "-"
+            else Report.pct (100. *. float_of_int l.l_exact /. float_of_int l.l_trials));
+           Printf.sprintf "%.1f/%.0f" l.l_probes_mean l.l_probes_p99;
+           Printf.sprintf "%.2f" l.l_batches_mean;
+         ])
+       locs);
+  write_json results locs;
+  Report.note (Printf.sprintf "wrote %s" json_path);
+  if !quick then begin
+    let bad_waves =
+      List.filter
+        (fun sr ->
+          match sr.sr_waves with
+          | w :: _ -> w.w_reach_pct < 100.
+          | [] -> true)
+        results
+    in
+    List.iter
+      (fun sr ->
+        Printf.printf "SURVIVABILITY REGRESSION: %s/%s loses reachability in wave 1\n" sr.sr_topo
+          (schedule_name sr.sr_sched))
+      bad_waves;
+    let bad_locs = List.filter (fun l -> l.l_trials = 0 || l.l_exact < l.l_trials) locs in
+    List.iter
+      (fun l ->
+        Printf.printf
+          "SURVIVABILITY REGRESSION: localization on %s at %d/%d exact (expected 100%%)\n"
+          l.l_topo l.l_exact l.l_trials)
+      bad_locs;
+    if bad_waves <> [] || bad_locs <> [] then exit 1
+  end

@@ -34,3 +34,21 @@ let notice_hop_limit = 5
 let int_stamp_wire_size = 4 + 1 + 4 + 8
 
 let int_max_stamps_per_frame = 15
+
+(* Probe-program opcodes (the per-hop instruction set that generalizes
+   the INT stamp region). The values are deliberately distinctive magic
+   bytes so a literal re-hardcoded outside this module is greppable —
+   and flagged by dumbnet-lint R5. *)
+let probe_op_stamp = 0xA1
+
+let probe_op_mirror = 0xA2
+
+let probe_op_bounce = 0xA3
+
+(* Caps that bound the wire cost of a probe-program region: at most
+   this many instructions per frame, and at most this many continuation
+   tags on a MIRROR/BOUNCE op (enough for the return leg of any path a
+   path graph can cache). *)
+let probe_max_instrs = 8
+
+let probe_max_cont_tags = 30

@@ -25,6 +25,7 @@ type t = {
   int_enabled : bool;
   int_rev_stamps : Int_stamp.t list; (* newest hop first — wire order reversed *)
   int_count : int; (* = List.length int_rev_stamps, kept for O(1) sizing *)
+  prog : Probe_prog.t option;
   payload : Payload.t;
 }
 
@@ -35,6 +36,13 @@ let stamp_count t = t.int_count
 let mark_ecn t = if t.ecn then t else { t with ecn = true }
 
 let with_int t = if t.int_enabled then t else { t with int_enabled = true }
+
+let with_prog prog t = { t with prog = Some prog }
+
+let strip_prog t =
+  match t.prog with
+  | None -> t
+  | Some _ -> { t with prog = None }
 
 (* Append-one is the whole switch-side INT instruction set; a full
    region forwards unstamped so the wire cost stays bounded. Stamps are
@@ -75,6 +83,7 @@ let dumbnet ~src ~dst ~tags ~payload =
     int_enabled = false;
     int_rev_stamps = [];
     int_count = 0;
+    prog = None;
     payload;
   }
 
@@ -92,6 +101,7 @@ let notice ~origin ~event ~hops_left =
     int_enabled = false;
     int_rev_stamps = [];
     int_count = 0;
+    prog = None;
     payload = Payload.Port_notice { event; hops_left };
   }
 
@@ -106,6 +116,7 @@ let plain ~src ~dst ~payload =
     int_enabled = false;
     int_rev_stamps = [];
     int_count = 0;
+    prog = None;
     payload;
   }
 
@@ -116,8 +127,14 @@ let fcs = Constants.fcs_bytes
 let int_region_bytes t =
   if t.int_enabled then 1 (* stamp count *) + (Int_stamp.wire_size * t.int_count) else 0
 
+let prog_region_bytes t =
+  match t.prog with
+  | Some p -> Probe_prog.wire_size p
+  | None -> 0
+
 let header_bytes t =
-  eth_header + List.length t.tags + 1 (* ECN byte *) + int_region_bytes t + fcs
+  eth_header + List.length t.tags + 1 (* ECN byte *) + int_region_bytes t
+  + prog_region_bytes t + fcs
 
 let byte_size t = header_bytes t + Payload.byte_size t.payload
 
@@ -168,7 +185,8 @@ let to_bytes t =
   let tos =
     (if t.ecn then 0x03 else 0x00)
     lor (if t.priority = High then 0x04 else 0x00)
-    lor if t.int_enabled then 0x08 else 0x00
+    lor (if t.int_enabled then 0x08 else 0x00)
+    lor match t.prog with Some _ -> 0x10 | None -> 0x00
   in
   Buffer.add_char buf (Char.chr tos);
   (* Telemetry region: right after the TOS byte (itself after the tag
@@ -180,6 +198,14 @@ let to_bytes t =
     List.iter (Int_stamp.write w) (int_stamps t);
     Buffer.add_bytes buf (Wire.Writer.contents w)
   end;
+  (* Probe-program region: after the telemetry region, present iff TOS
+     bit 4 is set — a count byte then the variable-width instructions. *)
+  (match t.prog with
+  | Some prog ->
+    let w = Wire.Writer.create () in
+    Probe_prog.write w prog;
+    Buffer.add_bytes buf (Wire.Writer.contents w)
+  | None -> ());
   let payload = Payload.encode t.payload in
   Buffer.add_char buf (Char.chr ((Bytes.length payload lsr 8) land 0xFF));
   Buffer.add_char buf (Char.chr (Bytes.length payload land 0xFF));
@@ -226,11 +252,12 @@ let of_bytes b =
   end;
   if !pos + 1 > body_len then raise Wire.Truncated;
   let tos = Char.code (Bytes.get b !pos) in
-  if tos land (lnot 0x0F) <> 0 || tos land 0x03 = 0x01 || tos land 0x03 = 0x02 then
+  if tos land (lnot 0x1F) <> 0 || tos land 0x03 = 0x01 || tos land 0x03 = 0x02 then
     raise Wire.Truncated;
   let ecn = tos land 0x03 = 0x03 in
   let priority = if tos land 0x04 <> 0 then High else Normal in
   let int_enabled = tos land 0x08 <> 0 in
+  let prog_present = tos land 0x10 <> 0 in
   incr pos;
   let int_count, int_rev_stamps =
     if not int_enabled then (0, [])
@@ -245,6 +272,20 @@ let of_bytes b =
       let stamps = List.init count (fun _ -> Int_stamp.read r) in
       pos := !pos + region;
       (count, List.rev stamps)
+    end
+  in
+  let prog =
+    if not prog_present then None
+    else begin
+      if !pos >= body_len then raise Wire.Truncated;
+      (* Variable-width region: parse from the remaining body, then
+         advance by the canonical encoded size of what was read. A
+         program that swallows payload bytes fails the exact payload-
+         length check below. *)
+      let r = Wire.Reader.of_bytes (Bytes.sub b !pos (body_len - !pos)) in
+      let p = Probe_prog.read r in
+      pos := !pos + Probe_prog.wire_size p;
+      Some p
     end
   in
   if !pos + 2 > body_len then raise Wire.Truncated;
@@ -262,8 +303,15 @@ let of_bytes b =
     int_enabled;
     int_rev_stamps;
     int_count;
+    prog;
     payload;
   }
+
+let equal_prog a b =
+  match (a, b) with
+  | None, None -> true
+  | Some p, Some q -> Probe_prog.equal p q
+  | None, Some _ | Some _, None -> false
 
 let equal a b =
   a.dst = b.dst && a.src = b.src && a.ethertype = b.ethertype && a.tags = b.tags
@@ -271,6 +319,7 @@ let equal a b =
   && a.int_enabled = b.int_enabled
   && a.int_count = b.int_count
   && List.for_all2 Int_stamp.equal a.int_rev_stamps b.int_rev_stamps
+  && equal_prog a.prog b.prog
   && Payload.equal a.payload b.payload
 
 let pp_addr ppf = function

@@ -48,6 +48,9 @@ type t = {
           the per-hop append is a cons — read it through {!int_stamps} *)
   int_count : int;  (** number of stamps, maintained so frame sizing
                         never walks the stamp list *)
+  prog : Probe_prog.t option;
+      (** TOS bit 4: a probe program the switches interpret per tag pop
+          — the generalized form of the INT stamp region *)
   payload : Payload.t;
 }
 
@@ -62,6 +65,15 @@ val mark_ecn : t -> t
 val with_int : t -> t
 (** Arm in-band telemetry: sets the INT flag (with an initially empty
     stamp region) so every switch on the path appends a stamp. *)
+
+val with_prog : Probe_prog.t -> t -> t
+(** Attach a probe program (sets TOS bit 4). Stamp instructions only
+    take effect when the INT region is also armed with {!with_int} —
+    the program decides {e when} to stamp, the region holds the
+    stamps. *)
+
+val strip_prog : t -> t
+(** Remove the program region (what a switch does to a mirror copy). *)
 
 val add_stamp : Int_stamp.t -> t -> t
 (** What a switch does per hop: append one stamp. No-op if the INT flag
@@ -101,7 +113,8 @@ val byte_size : t -> int
 val to_bytes : t -> Bytes.t
 (** Exact wire layout: dst MAC, src MAC, EtherType, tags (0x9800 only),
     TOS byte, telemetry region (TOS bit 3 only: count byte + stamps),
-    encoded payload, CRC-32 FCS. *)
+    probe-program region (TOS bit 4 only), encoded payload, CRC-32
+    FCS. *)
 
 val of_bytes : Bytes.t -> t
 (** Raises {!Wire.Truncated} on malformed input or FCS mismatch. *)

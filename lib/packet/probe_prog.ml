@@ -1,0 +1,192 @@
+open Dumbnet_topology
+open Types
+module W = Wire.Writer
+module R = Wire.Reader
+
+type pred = {
+  m_switch : switch_id option;
+  m_port : port option;
+  min_queue : int;
+  after_hops : int;
+}
+
+type op =
+  | Stamp
+  | Mirror of port list
+  | Bounce of port list
+
+type instr = {
+  pred : pred;
+  op : op;
+}
+
+type t = instr list
+
+let any = { m_switch = None; m_port = None; min_queue = 0; after_hops = 0 }
+
+let at_hop n =
+  if n < 1 || n > 0xFF + 1 then invalid_arg "Probe_prog.at_hop: hop out of range";
+  { any with after_hops = n - 1 }
+
+let stamp_all = { pred = any; op = Stamp }
+
+let max_instrs = Constants.probe_max_instrs
+
+let max_cont_tags = Constants.probe_max_cont_tags
+
+let check_cont tags =
+  if List.length tags > max_cont_tags then
+    invalid_arg "Probe_prog: continuation tag list too long";
+  List.iter
+    (fun p ->
+      if p < 1 || p > max_port then invalid_arg "Probe_prog: continuation port out of range")
+    tags
+
+let mirror ?(pred = any) cont =
+  check_cont cont;
+  { pred; op = Mirror cont }
+
+let bounce ?(pred = any) cont =
+  check_cont cont;
+  { pred; op = Bounce cont }
+
+let of_instrs instrs =
+  if instrs = [] || List.length instrs > max_instrs then
+    invalid_arg "Probe_prog.of_instrs: 1..max_instrs instructions";
+  instrs
+
+(* {2 Hop semantics helpers} *)
+
+let pred_matches pred ~self ~egress ~queue_depth =
+  pred.after_hops = 0
+  && (match pred.m_switch with
+     | Some s -> s = self
+     | None -> true)
+  && (match pred.m_port with
+     | Some p -> p = egress
+     | None -> true)
+  && queue_depth >= pred.min_queue
+
+(* One hop of program ageing: every armed countdown ticks once. Run it
+   on the instructions that survive a pop, never on the frozen copy the
+   eligibility test just read. *)
+let age t =
+  List.map
+    (fun i ->
+      if i.pred.after_hops > 0 then { i with pred = { i.pred with after_hops = i.pred.after_hops - 1 } }
+      else i)
+    t
+
+(* {2 Wire codec}
+
+   Region layout: a count byte, then per instruction an opcode byte, a
+   presence-flag byte for the optional predicate fields, the fields
+   themselves, and for MIRROR/BOUNCE a count-prefixed continuation tag
+   list. The encoding is canonical, so [wire_size] of a decoded value
+   is exactly the bytes consumed. *)
+
+let instr_wire_size i =
+  1 (* opcode *) + 1 (* flags *)
+  + (match i.pred.m_switch with Some _ -> 4 | None -> 0)
+  + (match i.pred.m_port with Some _ -> 1 | None -> 0)
+  + 4 (* min_queue *) + 1 (* after_hops *)
+  + match i.op with
+    | Stamp -> 0
+    | Mirror cont | Bounce cont -> 1 + List.length cont
+
+let wire_size t = 1 + List.fold_left (fun acc i -> acc + instr_wire_size i) 0 t
+
+let write_instr w i =
+  let opcode =
+    match i.op with
+    | Stamp -> Constants.probe_op_stamp
+    | Mirror _ -> Constants.probe_op_mirror
+    | Bounce _ -> Constants.probe_op_bounce
+  in
+  W.u8 w opcode;
+  let flags =
+    (match i.pred.m_switch with Some _ -> 1 | None -> 0)
+    lor match i.pred.m_port with Some _ -> 2 | None -> 0
+  in
+  W.u8 w flags;
+  (match i.pred.m_switch with
+  | Some s -> W.u32 w (Int32.of_int s)
+  | None -> ());
+  (match i.pred.m_port with
+  | Some p -> W.u8 w p
+  | None -> ());
+  W.u32 w (Int32.of_int (min i.pred.min_queue 0xFFFFFFF));
+  W.u8 w i.pred.after_hops;
+  match i.op with
+  | Stamp -> ()
+  | Mirror cont | Bounce cont ->
+    W.u8 w (List.length cont);
+    List.iter (W.u8 w) cont
+
+let write w t =
+  W.u8 w (List.length t);
+  List.iter (write_instr w) t
+
+let read_cont r =
+  let n = R.u8 r in
+  if n > max_cont_tags then raise Wire.Truncated;
+  List.init n (fun _ ->
+      let p = R.u8 r in
+      if p < 1 || p > max_port then raise Wire.Truncated;
+      p)
+
+let read_instr r =
+  let opcode = R.u8 r in
+  let flags = R.u8 r in
+  if flags land lnot 0x03 <> 0 then raise Wire.Truncated;
+  let m_switch =
+    if flags land 1 <> 0 then Some (Int32.to_int (R.u32 r) land 0xFFFFFFFF) else None
+  in
+  let m_port =
+    if flags land 2 <> 0 then begin
+      let p = R.u8 r in
+      if p < 1 || p > max_port then raise Wire.Truncated;
+      Some p
+    end
+    else None
+  in
+  let min_queue = Int32.to_int (R.u32 r) land 0xFFFFFFFF in
+  let after_hops = R.u8 r in
+  let pred = { m_switch; m_port; min_queue; after_hops } in
+  if opcode = Constants.probe_op_stamp then { pred; op = Stamp }
+  else if opcode = Constants.probe_op_mirror then { pred; op = Mirror (read_cont r) }
+  else if opcode = Constants.probe_op_bounce then { pred; op = Bounce (read_cont r) }
+  else raise Wire.Truncated
+
+let read r =
+  let n = R.u8 r in
+  if n < 1 || n > max_instrs then raise Wire.Truncated;
+  List.init n (fun _ -> read_instr r)
+
+let equal a b = a = b
+
+let pp_pred ppf p =
+  let part ppf = function
+    | Some v, label -> Format.fprintf ppf "%s%d" label v
+    | None, _ -> ()
+  in
+  Format.fprintf ppf "{%a%a" part (p.m_switch, "S") part (p.m_port, ":p");
+  if p.min_queue > 0 then Format.fprintf ppf " q>=%d" p.min_queue;
+  if p.after_hops > 0 then Format.fprintf ppf " +%dh" p.after_hops;
+  Format.fprintf ppf "}"
+
+let pp_instr ppf i =
+  let cont ppf tags =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf "-")
+      Format.pp_print_int ppf tags
+  in
+  match i.op with
+  | Stamp -> Format.fprintf ppf "stamp%a" pp_pred i.pred
+  | Mirror tags -> Format.fprintf ppf "mirror%a[%a]" pp_pred i.pred cont tags
+  | Bounce tags -> Format.fprintf ppf "bounce%a[%a]" pp_pred i.pred cont tags
+
+let pp ppf t =
+  Format.fprintf ppf "prog(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") pp_instr)
+    t

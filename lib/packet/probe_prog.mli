@@ -1,0 +1,97 @@
+(** Probe programs: the tiny per-hop instruction set that generalizes
+    the INT stamp region (Minions-style in-packet programs, scaled down
+    to what a stateless DumbNet switch can execute at tag-pop time).
+
+    A program is a short list of instructions carried in the frame.
+    Each pop of a [Forward] tag evaluates every instruction against
+    values the port hardware already holds — its own switch ID, the
+    egress the tag names, that egress's instantaneous backlog — plus a
+    per-instruction hop countdown that the switch decrements as the
+    frame travels (the packet is the only memory, exactly the
+    stateless-switch discipline).
+
+    Ops:
+    - [Stamp]: append an {!Int_stamp} when the predicate matches
+      (a plain INT-flagged frame behaves like the one-instruction
+      program [stamp_all]). Persists hop to hop.
+    - [Mirror cont]: emit a copy of the frame out the {e ingress} port,
+      retagged with [cont], program stripped; the original continues on
+      its tags. Consumed when it fires.
+    - [Bounce cont]: turn the frame itself around — re-emit out the
+      ingress port retagged with [cont]. Consumed when it fires.
+
+    Mirror and bounce use the ingress port deliberately: the sending
+    host can always compute a return route over the path prefix it has
+    already verified, and after a miswiring the bounce still crosses
+    the very cable the frame arrived on — which is what lets the
+    diagnosis engine read the far side's true identity. *)
+
+open Dumbnet_topology
+open Types
+
+(** When an instruction is eligible: all present fields must match, and
+    the hop countdown must have reached zero. *)
+type pred = {
+  m_switch : switch_id option;  (** fire only at this switch *)
+  m_port : port option;  (** fire only when the popped tag names this egress *)
+  min_queue : int;  (** fire only when the egress backlog is at least this *)
+  after_hops : int;  (** fire only after this many further pops (0 = now) *)
+}
+
+type op =
+  | Stamp
+  | Mirror of port list  (** copy out the ingress port with these tags *)
+  | Bounce of port list  (** redirect out the ingress port with these tags *)
+
+type instr = {
+  pred : pred;
+  op : op;
+}
+
+type t = instr list
+
+val any : pred
+(** Matches every hop. *)
+
+val at_hop : int -> pred
+(** [at_hop n] matches (only) the [n]-th switch the frame pops a tag at,
+    counting from 1, whatever its identity — the hop countdown does the
+    targeting. Raises [Invalid_argument] outside [1..256]. *)
+
+val stamp_all : instr
+(** [{ pred = any; op = Stamp }] — plain INT as a one-instruction program. *)
+
+val mirror : ?pred:pred -> port list -> instr
+(** Raises [Invalid_argument] if the continuation exceeds
+    {!max_cont_tags} or names an invalid port. *)
+
+val bounce : ?pred:pred -> port list -> instr
+
+val of_instrs : instr list -> t
+(** Validates the program size: [1..max_instrs] instructions. *)
+
+val max_instrs : int
+
+val max_cont_tags : int
+
+(** {1 Hop semantics (used by the dataplane interpreter)} *)
+
+val pred_matches : pred -> self:switch_id -> egress:port -> queue_depth:int -> bool
+
+val age : t -> t
+(** One hop's countdown tick for every surviving instruction. *)
+
+(** {1 Wire codec} *)
+
+val wire_size : t -> int
+(** Exact encoded size in bytes (count byte included). *)
+
+val write : Wire.Writer.t -> t -> unit
+
+val read : Wire.Reader.t -> t
+(** Raises {!Wire.Truncated} on unknown opcodes, malformed predicates,
+    out-of-range ports or an instruction count outside [1..max_instrs]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -30,7 +30,25 @@ type stats = {
   mutable dataplane_drops : int;
   mutable bytes_delivered : int;
   mutable int_stamped : int;
+  mutable silent_drops : int;
+  mutable probe_mirrors : int;
 }
+
+(* An injected forwarding-plane fault on one egress direction: the link
+   reports up, monitors stay quiet, and frames vanish (always, or with
+   a probability). This models the gray failures the diagnosis engine
+   exists to localize — invisible to control-plane machinery by
+   construction. *)
+type fault =
+  | Silent_drop
+  | Corrupting of {
+      rate : float;
+      seed : int;
+    }
+
+type fault_state =
+  | F_drop
+  | F_rate of float * Dumbnet_util.Rng.t
 
 (* One egress direction of a link (from a switch port or a host NIC).
    Two virtual lanes model strict priority (paper §3.1): high-priority
@@ -65,6 +83,7 @@ type link_target =
    single lookup per hop: egress state, cabling targets, and a
    link-state reader sharing the graph's own port table. *)
 type sw_state = {
+  self : switch_id;
   egress : egress array; (* per-port, index 0 unused *)
   port_up : port -> bool;
   mutable targets : link_target array;
@@ -78,6 +97,7 @@ type t = {
   mutable wiring_gen : int; (* Graph.wiring_generation the targets match *)
   hosts : (host_id, host_state) Hashtbl.t;
   monitors : (switch_id, Monitor.t) Hashtbl.t;
+  faults : (link_end, fault_state) Hashtbl.t;
   stats : stats;
 }
 
@@ -117,6 +137,7 @@ let create ?(config = default_config) ~engine:eng ~graph:g () =
       wiring_gen = Graph.wiring_generation g - 1; (* force the first build *)
       hosts = Hashtbl.create 256;
       monitors = Hashtbl.create 64;
+      faults = Hashtbl.create 4;
       stats =
         {
           host_tx = 0;
@@ -127,6 +148,8 @@ let create ?(config = default_config) ~engine:eng ~graph:g () =
           dataplane_drops = 0;
           bytes_delivered = 0;
           int_stamped = 0;
+          silent_drops = 0;
+          probe_mirrors = 0;
         };
     }
   in
@@ -144,6 +167,7 @@ let create ?(config = default_config) ~engine:eng ~graph:g () =
       Hashtbl.replace t.monitors sw (Monitor.create ~self:sw ());
       Hashtbl.replace t.switches sw
         {
+          self = sw;
           egress = Array.init (Graph.ports_of g sw + 1) (fun _ -> fresh_egress ());
           port_up = Graph.port_state_fn g sw;
           targets = [||];
@@ -310,10 +334,38 @@ let[@dumbnet.hot] rec switch_process t sw ~in_port frame =
       if Frame.stamp_count frame' > Frame.stamp_count frame then
         t.stats.int_stamped <- t.stats.int_stamped + 1;
       emit t ss p frame'
+    | Dataplane.Forward_many emissions ->
+      (* A probe program fired MIRROR (and possibly BOUNCE): the frame
+         plus its ingress-bound copies, each charged to its egress. *)
+      t.stats.probe_mirrors <- t.stats.probe_mirrors + max 0 (List.length emissions - 1);
+      List.iter
+        (fun (p, frame') ->
+          if Frame.stamp_count frame' > Frame.stamp_count frame then
+            t.stats.int_stamped <- t.stats.int_stamped + 1;
+          emit t ss p frame')
+        emissions
     | Dataplane.Flood frame' -> flood t ss ~except:in_port frame')
 
+(* The injected-fault check on one egress direction. Runs after the
+   port-up test on purpose: the link looks perfectly healthy to the
+   dataplane and to both monitors — the frame simply never arrives. *)
+and faulted t ss p =
+  Hashtbl.length t.faults > 0
+  &&
+  match Hashtbl.find_opt t.faults { sw = ss.self; port = p } with
+  | Some F_drop ->
+    t.stats.silent_drops <- t.stats.silent_drops + 1;
+    true
+  | Some (F_rate (rate, rng)) ->
+    if Dumbnet_util.Rng.float rng 1.0 < rate then begin
+      t.stats.silent_drops <- t.stats.silent_drops + 1;
+      true
+    end
+    else false
+  | None -> false
+
 and emit t ss p frame =
-  if p >= 1 && p < Array.length ss.egress && ss.port_up p then
+  if p >= 1 && p < Array.length ss.egress && ss.port_up p && not (faulted t ss p) then
     match ss.targets.(p) with
     | T_empty -> ()
     | T_host h ->
@@ -393,6 +445,44 @@ let add_link t a b =
   in
   fire a;
   fire b
+
+let set_cable_fault t le fault =
+  match Graph.peer_port t.g le with
+  | None -> invalid_arg "Network.set_cable_fault: not a switch-to-switch cable"
+  | Some peer -> (
+    let set e f =
+      match f with
+      | None -> Hashtbl.remove t.faults e
+      | Some Silent_drop -> Hashtbl.replace t.faults e F_drop
+      | Some (Corrupting { rate; seed }) ->
+        if not (rate >= 0. && rate <= 1.) then
+          invalid_arg "Network.set_cable_fault: rate outside [0,1]";
+        Hashtbl.replace t.faults e (F_rate (rate, Dumbnet_util.Rng.create seed))
+    in
+    set le fault;
+    match fault with
+    | Some (Corrupting { rate; seed }) ->
+      (* Independent randomness per direction, both deterministic. *)
+      set peer (Some (Corrupting { rate; seed = seed + 1 }))
+    | Some Silent_drop | None -> set peer fault)
+
+let clear_faults t = Hashtbl.reset t.faults
+
+let rewire_swap t a c =
+  match (Graph.peer_port t.g a, Graph.peer_port t.g c) with
+  | Some b, Some d ->
+    (* Cables (a—b) and (c—d) become (a—d) and (c—b): the swapped pair
+       a mis-patched panel creates. No monitor fires — the ports never
+       see a transition, only the far-end identity changes. The
+       forwarding target arrays refresh off the wiring generation on
+       the next hop. *)
+    Graph.remove_link t.g a;
+    Graph.remove_link t.g c;
+    Graph.connect t.g a d;
+    Graph.connect t.g c b;
+    refresh_targets t
+  | None, _ | _, None ->
+    invalid_arg "Network.rewire_swap: both ends must be switch-to-switch cables"
 
 let fail_link t le =
   if Graph.link_up t.g le then port_transition t le ~up:false

@@ -35,7 +35,20 @@ type stats = {
   mutable dataplane_drops : int;  (** bad tag, down port, untagged... *)
   mutable bytes_delivered : int;
   mutable int_stamped : int;  (** telemetry stamps appended by switches *)
+  mutable silent_drops : int;  (** frames eaten by injected forwarding faults *)
+  mutable probe_mirrors : int;  (** extra emissions from probe-program MIRROR ops *)
 }
+
+(** An injected forwarding-plane fault on a cable: the link stays
+    administratively up and no monitor fires, but frames crossing it
+    vanish — always ([Silent_drop]) or with probability [rate] per
+    crossing ([Corrupting], deterministic via [seed]). *)
+type fault =
+  | Silent_drop
+  | Corrupting of {
+      rate : float;
+      seed : int;
+    }
 
 type t
 
@@ -72,6 +85,25 @@ val add_link : t -> link_end -> link_end -> unit
     ends' monitors emit port-up notices, which lead the controller to
     probe and adopt the new link (§4.2 link addition). Raises
     [Invalid_argument] if either port is occupied or unknown. *)
+
+val set_cable_fault : t -> link_end -> fault option -> unit
+(** Install ([Some _]) or clear ([None]) a hidden fault on the cable at
+    this port — both directions at once (corrupting faults get an
+    independent deterministic stream per direction). Unlike
+    {!fail_link} this raises no alarms anywhere: it is the ground-truth
+    adversity the diagnosis engine must localize from probe outcomes
+    alone. Raises [Invalid_argument] unless the port holds a
+    switch-to-switch cable or the rate is outside [0, 1]. *)
+
+val clear_faults : t -> unit
+
+val rewire_swap : t -> link_end -> link_end -> unit
+(** Silently swap the far ends of the two cables plugged at these ports:
+    (a—b), (c—d) become (a—d), (c—b) — the classic mis-patched pair.
+    Ports never transition so no monitor or notice fires; only the
+    physical identity of each cable's far side changes. Raises
+    [Invalid_argument] unless both ports hold switch-to-switch cables
+    (or if the two ends share one cable). *)
 
 val fail_link : t -> link_end -> unit
 (** Takes the link at this port down: both ends' monitors may emit

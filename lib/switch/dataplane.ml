@@ -12,10 +12,101 @@ type drop_reason =
 
 type action =
   | Forward of port * Frame.t
+  | Forward_many of (port * Frame.t) list
   | Flood of Frame.t
   | Drop of drop_reason
 
-let rec process_tags ~self ~num_ports ~port_up ~stamp (frame : Frame.t) =
+(* One hop of the probe-program interpreter, entered when a popped
+   Forward tag finds a program region in the frame. Everything it reads
+   is already in the port hardware's hands: our own ID, the egress the
+   tag names, that egress's instantaneous backlog, the ingress the
+   frame arrived on — plus the program bytes themselves, which are the
+   packet's only memory (countdowns are rewritten into the forwarded
+   frame, fired MIRROR/BOUNCE instructions are deleted). The switch
+   retains nothing. *)
+let run_prog ~self ~num_ports ~port_up ~stamp ~in_port ~egress prog frame =
+  let queue_depth =
+    match stamp with
+    | Some observe -> (observe egress).Int_stamp.queue_depth
+    | None -> 0
+  in
+  let eligible (i : Probe_prog.instr) =
+    Probe_prog.pred_matches i.Probe_prog.pred ~self ~egress ~queue_depth
+  in
+  let indexed = List.mapi (fun i ins -> (i, ins)) prog in
+  (* At most one turn-around per hop: the first eligible BOUNCE wins. *)
+  let bounce =
+    List.find_map
+      (fun (i, ins) ->
+        match ins.Probe_prog.op with
+        | Probe_prog.Bounce cont when eligible ins -> Some (i, cont)
+        | Probe_prog.Bounce _ | Probe_prog.Stamp | Probe_prog.Mirror _ -> None)
+      indexed
+  in
+  let mirrors =
+    List.filter_map
+      (fun (i, ins) ->
+        match ins.Probe_prog.op with
+        | Probe_prog.Mirror cont when eligible ins -> Some (i, cont)
+        | Probe_prog.Mirror _ | Probe_prog.Stamp | Probe_prog.Bounce _ -> None)
+      indexed
+  in
+  let want_stamp =
+    List.exists
+      (fun (i : Probe_prog.instr) ->
+        match i.Probe_prog.op with
+        | Probe_prog.Stamp -> eligible i
+        | Probe_prog.Mirror _ | Probe_prog.Bounce _ -> false)
+      prog
+  in
+  (* The egress this hop actually uses: the ingress when bouncing. *)
+  let out_port =
+    match bounce with
+    | Some _ -> in_port
+    | None -> egress
+  in
+  let frame =
+    match stamp with
+    | Some observe when want_stamp && frame.Frame.int_enabled ->
+      Frame.add_stamp (observe out_port) frame
+    | Some _ | None -> frame
+  in
+  let consumed i =
+    (match bounce with
+    | Some (bi, _) -> bi = i
+    | None -> false)
+    || List.exists (fun (mi, _) -> mi = i) mirrors
+  in
+  let survivors = List.filteri (fun i _ -> not (consumed i)) prog in
+  let frame =
+    match survivors with
+    | [] -> Frame.strip_prog frame
+    | _ :: _ -> Frame.with_prog (Probe_prog.age survivors) frame
+  in
+  (* Mirror copies leave on the ingress, retagged and stripped of the
+     program, carrying the stamp region as of this hop. *)
+  let copies =
+    List.map
+      (fun (_, cont) ->
+        (in_port, Frame.strip_prog { frame with Frame.tags = Tag.of_ports cont }))
+      mirrors
+  in
+  let primary =
+    match bounce with
+    | Some (_, cont) ->
+      if in_port >= 1 && in_port <= num_ports && port_up in_port then
+        Some (in_port, { frame with Frame.tags = Tag.of_ports cont })
+      else None
+    | None ->
+      if port_up egress then Some (egress, frame) else None
+  in
+  match (primary, copies) with
+  | Some (p, f), [] -> Forward (p, f)
+  | Some pf, _ :: _ -> Forward_many (pf :: copies)
+  | None, _ :: _ -> Forward_many copies
+  | None, [] -> Drop (Port_down out_port)
+
+let rec process_tags ~self ~num_ports ~port_up ~stamp ~in_port (frame : Frame.t) =
   match frame.Frame.tags with
   | [] -> Drop No_tags
   | Tag.End_of_path :: _ -> Drop Path_ended_at_switch
@@ -30,29 +121,39 @@ let rec process_tags ~self ~num_ports ~port_up ~stamp (frame : Frame.t) =
         payload = Payload.Id_reply { switch = self };
       }
     in
-    process_tags ~self ~num_ports ~port_up ~stamp reply
+    process_tags ~self ~num_ports ~port_up ~stamp ~in_port reply
   | Tag.Forward p :: rest ->
     if p < 1 || p > num_ports then Drop (Port_out_of_range p)
-    else if not (port_up p) then Drop (Port_down p)
     else begin
-      let frame = { frame with Frame.tags = rest } in
-      (* In-band telemetry: an INT-flagged frame gets one stamp appended
-         as it is popped — a fixed-cost blind write of values the
-         hardware already observes (own ID, chosen port, egress backlog,
-         clock). No state is consulted or retained, so the switch stays
-         dumb. *)
-      let frame =
-        match stamp with
-        | Some observe when frame.Frame.int_enabled -> Frame.add_stamp (observe p) frame
-        | Some _ | None -> frame
-      in
-      Forward (p, frame)
+      match frame.Frame.prog with
+      | Some prog ->
+        (* Program hops see the popped tag even when the named egress is
+           down — a BOUNCE can still turn the frame around on its
+           ingress, which is what lets probes localize dead or lying
+           egresses from the near side. *)
+        run_prog ~self ~num_ports ~port_up ~stamp ~in_port ~egress:p prog
+          { frame with Frame.tags = rest }
+      | None ->
+        if not (port_up p) then Drop (Port_down p)
+        else begin
+          let frame = { frame with Frame.tags = rest } in
+          (* In-band telemetry: an INT-flagged frame gets one stamp appended
+             as it is popped — a fixed-cost blind write of values the
+             hardware already observes (own ID, chosen port, egress backlog,
+             clock). No state is consulted or retained, so the switch stays
+             dumb. *)
+          let frame =
+            match stamp with
+            | Some observe when frame.Frame.int_enabled -> Frame.add_stamp (observe p) frame
+            | Some _ | None -> frame
+          in
+          Forward (p, frame)
+        end
     end
 
 let handle ~self ~num_ports ~port_up ?stamp ~in_port frame =
-  ignore in_port;
   if frame.Frame.ethertype = Frame.ethertype_dumbnet then
-    process_tags ~self ~num_ports ~port_up ~stamp frame
+    process_tags ~self ~num_ports ~port_up ~stamp ~in_port frame
   else if frame.Frame.ethertype = Frame.ethertype_notice then begin
     match frame.Frame.payload with
     | Payload.Port_notice { event; hops_left } ->

@@ -21,6 +21,9 @@ type drop_reason =
 
 type action =
   | Forward of port * Frame.t  (** emit the frame (first tag consumed) on this port *)
+  | Forward_many of (port * Frame.t) list
+      (** a probe program fired MIRROR: the surviving frame (if its
+          egress is up) followed by the ingress-bound copies, in order *)
   | Flood of Frame.t  (** emit on every up port except the ingress *)
   | Drop of drop_reason
 
@@ -40,6 +43,17 @@ val handle :
     [stamp] is the hardware's view of one egress (backlog, clock) for
     in-band telemetry: INT-flagged frames get [stamp p] appended as they
     are forwarded out port [p]. Like ECN marking it reads only values
-    the port logic already has — the switch keeps no telemetry state. *)
+    the port logic already has — the switch keeps no telemetry state.
+
+    Frames carrying a {!Dumbnet_packet.Probe_prog} region are run
+    through the per-hop interpreter instead of the implicit INT stamp:
+    eligible STAMP instructions append the stamp, eligible MIRROR
+    instructions add ingress-bound copies (program stripped), and the
+    first eligible BOUNCE redirects the frame itself out [in_port] with
+    its continuation tags — even when the popped egress is down, which
+    is what lets a probe report on a dead egress from its near side.
+    Fired MIRROR/BOUNCE instructions are deleted and every remaining
+    countdown ticks; the rewritten program travels in the frame, so the
+    switch still retains nothing. *)
 
 val pp_drop_reason : Format.formatter -> drop_reason -> unit

@@ -3,13 +3,27 @@ open Types
 open Dumbnet_sim
 open Dumbnet_host
 
+type reason =
+  | Losses
+  | Latency
+
+type suspect = {
+  s_link : link_end;
+  s_reason : reason;
+  s_at_ns : int;
+  s_losses : int;
+  s_latency_ns : float;
+}
+
 type t = {
   latency_threshold_ns : float;
   loss_threshold : int;
   min_samples : int;
   flagged : (link_end, int) Hashtbl.t; (* link -> detection time *)
   mutable detection_log : (link_end * int) list; (* newest first *)
+  mutable suspect_log : suspect list; (* newest first *)
   mutable on_flag : (link_end -> unit) option;
+  mutable on_suspect : (suspect -> unit) option;
 }
 
 let create ?(latency_threshold_ns = 100_000.) ?(loss_threshold = 3) ?(min_samples = 3) () =
@@ -19,10 +33,20 @@ let create ?(latency_threshold_ns = 100_000.) ?(loss_threshold = 3) ?(min_sample
     min_samples;
     flagged = Hashtbl.create 8;
     detection_log = [];
+    suspect_log = [];
     on_flag = None;
+    on_suspect = None;
   }
 
 let set_on_flag t f = t.on_flag <- Some f
+
+let set_on_suspect t f = t.on_suspect <- Some f
+
+let suspects t = List.rev t.suspect_log
+
+let pp_reason ppf = function
+  | Losses -> Format.fprintf ppf "losses"
+  | Latency -> Format.fprintf ppf "latency"
 
 let is_flagged t le = Hashtbl.mem t.flagged le
 
@@ -41,6 +65,22 @@ let check t ~now_ns collector =
       if (not (is_flagged t le)) && suspect t snap then begin
         Hashtbl.replace t.flagged le now_ns;
         t.detection_log <- (le, now_ns) :: t.detection_log;
+        (* The structured verdict the diagnosis engine consumes: which
+           threshold tripped and the evidence, not just the link. *)
+        let s =
+          {
+            s_link = le;
+            s_reason =
+              (if snap.Collector.losses >= t.loss_threshold then Losses else Latency);
+            s_at_ns = now_ns;
+            s_losses = snap.Collector.losses;
+            s_latency_ns = snap.Collector.latency_ns;
+          }
+        in
+        t.suspect_log <- s :: t.suspect_log;
+        (match t.on_suspect with
+        | Some f -> f s
+        | None -> ());
         Some le
       end
       else None)

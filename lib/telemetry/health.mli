@@ -20,6 +20,23 @@ open Dumbnet_host
 
 type t
 
+(** Why a link tripped the monitor. *)
+type reason =
+  | Losses  (** probe-loss count reached the threshold *)
+  | Latency  (** EWMA latency crossed the threshold *)
+
+(** A structured gray-failure verdict: the flagged link {e end} plus the
+    evidence that condemned it. This is what the diagnosis engine
+    consumes to decide where to aim its probe programs — a demotion
+    alone says nothing about {e why}. *)
+type suspect = {
+  s_link : link_end;
+  s_reason : reason;
+  s_at_ns : int;
+  s_losses : int;  (** collector loss count at detection *)
+  s_latency_ns : float;  (** EWMA latency at detection *)
+}
+
 val create :
   ?latency_threshold_ns:float -> ?loss_threshold:int -> ?min_samples:int -> unit -> t
 (** Flag when EWMA latency exceeds [latency_threshold_ns] (default
@@ -40,6 +57,16 @@ val watch :
 val set_on_flag : t -> (link_end -> unit) -> unit
 (** Extra callback per newly flagged link (after the demotion when
     running under {!watch}). *)
+
+val set_on_suspect : t -> (suspect -> unit) -> unit
+(** Structured counterpart of {!set_on_flag}: fires once per newly
+    flagged link, from {!check} itself — so it reaches subscribers
+    whether the monitor runs under {!watch} or is polled manually. *)
+
+val suspects : t -> suspect list
+(** Every structured verdict so far, oldest first. *)
+
+val pp_reason : Format.formatter -> reason -> unit
 
 val is_flagged : t -> link_end -> bool
 

@@ -4,7 +4,16 @@ open Dumbnet_packet
 open Dumbnet_sim
 open Dumbnet_host
 
-type pending = { loop : link_end list }
+type outcome = {
+  o_seq : int;
+  o_returned : bool;
+  o_rtt_ns : int;
+  o_stamps : Int_stamp.t list;
+}
+
+type pending =
+  | P_loop of link_end list
+  | P_prog of (outcome -> unit)
 
 type t = {
   interval_ns : int;
@@ -19,6 +28,7 @@ type t = {
   mutable sent : int;
   mutable returned : int;
   mutable lost : int;
+  mutable prog_sent : int;
   mutable on_return : (seq:int -> rtt_ns:int -> stamps:Int_stamp.t list -> unit) option;
 }
 
@@ -37,17 +47,23 @@ let create ?(interval_ns = 200_000) ?(timeout_ns = 5_000_000) ~engine ~agent ~co
       sent = 0;
       returned = 0;
       lost = 0;
+      prog_sent = 0;
       on_return = None;
     }
   in
   Agent.set_int_probe_hook agent (fun ~seq ~sent_ns ~stamps ->
-      if Hashtbl.mem t.outstanding seq then begin
+      match Hashtbl.find_opt t.outstanding seq with
+      | None -> ()
+      | Some (P_loop _) -> (
         Hashtbl.remove t.outstanding seq;
         t.returned <- t.returned + 1;
         match t.on_return with
         | Some f -> f ~seq ~rtt_ns:(Engine.now engine - sent_ns) ~stamps
-        | None -> ()
-      end);
+        | None -> ())
+      | Some (P_prog on_done) ->
+        Hashtbl.remove t.outstanding seq;
+        on_done
+          { o_seq = seq; o_returned = true; o_rtt_ns = Engine.now engine - sent_ns; o_stamps = stamps });
   t
 
 let on_return t f = t.on_return <- Some f
@@ -58,7 +74,28 @@ let returned t = t.returned
 
 let lost t = t.lost
 
+let prog_sent t = t.prog_sent
+
 exception Unknown_link
+
+type leg = {
+  leg_from : link_end;
+  leg_to : link_end;
+}
+
+(* Resolve each consecutive switch pair of a path against the cached
+   adjacency: the egress the tag names and the matching ingress on the
+   far side — the cable the hop crosses, both ends. *)
+let path_legs ~adj (path : Path.t) =
+  let rec walk acc = function
+    | (s1, p1) :: ((s2, _) :: _ as rest) -> (
+      match List.find_opt (fun (op, peer, _) -> op = p1 && peer = s2) (adj s1) with
+      | Some (_, _, q) ->
+        walk ({ leg_from = { sw = s1; port = p1 }; leg_to = { sw = s2; port = q } } :: acc) rest
+      | None -> raise Unknown_link)
+    | [ _ ] | [] -> List.rev acc
+  in
+  try Some (walk [] path.Path.hops) with Unknown_link -> None
 
 (* Turn a cached forward path into a loop: out along the inter-switch
    egresses, turn around at the last switch, back through each hop's
@@ -68,29 +105,46 @@ exception Unknown_link
 let build_loop ~adj ~src_port (path : Path.t) =
   match path.Path.hops with
   | [] -> None
-  | (first_sw, _) :: _ as hops -> (
-    try
-      (* Consecutive switch pairs with the egress used and the matching
-         ingress on the far side, collected last pair first. *)
-      let rec walk acc = function
-        | (s1, p1) :: ((s2, _) :: _ as rest) ->
-          (match
-             List.find_opt (fun (op, peer, _) -> op = p1 && peer = s2) (adj s1)
-           with
-          | Some (_, _, q) -> walk ((s1, p1, s2, q) :: acc) rest
-          | None -> raise Unknown_link)
-        | [ _ ] | [] -> acc
+  | (first_sw, _) :: _ -> (
+    match path_legs ~adj path with
+    | None -> None
+    | Some legs ->
+      let tags =
+        List.map (fun l -> l.leg_from.port) legs
+        @ List.rev_map (fun l -> l.leg_to.port) legs
+        @ [ src_port ]
       in
-      (* pairs is collected last-hop first, so rev_map restores path
-         order for the outbound leg while plain map gives the return
-         leg its innermost-first order. *)
-      let pairs = walk [] hops in
-      let forward = List.rev_map (fun (_, p, _, _) -> p) pairs in
-      let tags = forward @ List.map (fun (_, _, _, q) -> q) pairs @ [ src_port ] in
-      let out = List.rev_map (fun (s, p, _, _) -> { sw = s; port = p }) pairs in
-      let back = List.map (fun (_, _, s, q) -> { sw = s; port = q }) pairs in
-      Some (tags, out @ back @ [ { sw = first_sw; port = src_port } ])
-    with Unknown_link -> None)
+      let out = List.map (fun l -> l.leg_from) legs in
+      let back = List.rev_map (fun l -> l.leg_to) legs in
+      Some (tags, out @ back @ [ { sw = first_sw; port = src_port } ]))
+
+let fresh_seq t =
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  seq
+
+let send_program t ~tags ~prog ?timeout_ns ~on_done () =
+  let timeout_ns =
+    match timeout_ns with
+    | Some v -> v
+    | None -> t.timeout_ns
+  in
+  let self = Agent.self t.agent in
+  let seq = fresh_seq t in
+  let payload = Payload.Int_probe { origin = self; seq; sent_ns = Engine.now t.engine } in
+  let frame =
+    Frame.with_prog prog (Frame.with_int (Frame.along_path ~src:self ~dst:self ~tags_of:tags ~payload))
+  in
+  Hashtbl.replace t.outstanding seq (P_prog on_done);
+  t.prog_sent <- t.prog_sent + 1;
+  Agent.send_raw t.agent frame;
+  Engine.schedule_daemon t.engine ~delay_ns:timeout_ns (fun () ->
+      match Hashtbl.find_opt t.outstanding seq with
+      | Some (P_prog f) ->
+        Hashtbl.remove t.outstanding seq;
+        f { o_seq = seq; o_returned = false; o_rtt_ns = timeout_ns; o_stamps = [] }
+      | Some (P_loop _) | None -> ());
+  seq
 
 let probe_once t =
   let dsts = List.sort compare (Topocache.known (Agent.topocache t.agent)) in
@@ -114,24 +168,23 @@ let probe_once t =
       | None -> false
       | Some (tags, loop) ->
         let self = Agent.self t.agent in
-        let seq = t.next_seq in
-        t.next_seq <- t.next_seq + 1;
+        let seq = fresh_seq t in
         let payload =
           Payload.Int_probe { origin = self; seq; sent_ns = Engine.now t.engine }
         in
         let frame =
           Frame.with_int (Frame.along_path ~src:self ~dst:self ~tags_of:tags ~payload)
         in
-        Hashtbl.replace t.outstanding seq { loop };
+        Hashtbl.replace t.outstanding seq (P_loop loop);
         t.sent <- t.sent + 1;
         Agent.send_raw t.agent frame;
         Engine.schedule_daemon t.engine ~delay_ns:t.timeout_ns (fun () ->
             match Hashtbl.find_opt t.outstanding seq with
-            | None -> ()
-            | Some { loop } ->
+            | Some (P_loop loop) ->
               Hashtbl.remove t.outstanding seq;
               t.lost <- t.lost + 1;
-              List.iter (Collector.note_loss t.collector) loop);
+              List.iter (Collector.note_loss t.collector) loop
+            | Some (P_prog _) | None -> ());
         true))
 
 let start t =

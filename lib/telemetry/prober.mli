@@ -19,6 +19,8 @@
     the {!Health} monitor turns into a gray-failure verdict for
     silently dropping links. *)
 
+open Dumbnet_topology
+open Types
 open Dumbnet_packet
 open Dumbnet_sim
 open Dumbnet_host
@@ -58,3 +60,46 @@ val sent : t -> int
 val returned : t -> int
 
 val lost : t -> int
+
+(** {1 Program probes}
+
+    Beyond the periodic loop probes, the prober can dispatch one-shot
+    frames carrying a {!Dumbnet_packet.Probe_prog} — the diagnosis
+    engine's raw operation. Program probes share the loop probes'
+    sequence space and return hook but report through their own
+    callback, and their losses are {e not} charged to the collector
+    (the caller interprets silence itself). *)
+
+type outcome = {
+  o_seq : int;
+  o_returned : bool;
+  o_rtt_ns : int;  (** the timeout when [o_returned] is false *)
+  o_stamps : Int_stamp.t list;  (** stamp chain as received, first hop first *)
+}
+
+val send_program :
+  t ->
+  tags:port list ->
+  prog:Probe_prog.t ->
+  ?timeout_ns:int ->
+  on_done:(outcome -> unit) ->
+  unit ->
+  int
+(** Send a self-addressed frame with the given forward tags and probe
+    program; [on_done] fires exactly once — on return or on timeout
+    (default: the prober's loop timeout). Returns the sequence number. *)
+
+val prog_sent : t -> int
+
+(** One cable of a path, both ends: the egress the tag names and the
+    ingress it lands on. *)
+type leg = {
+  leg_from : link_end;
+  leg_to : link_end;
+}
+
+val path_legs : adj:Path.adjacency -> Path.t -> leg list option
+(** The cables a cached path crosses, in order, resolved against the
+    path graph's adjacency — [None] if the adjacency does not cover a
+    hop. The diagnosis engine derives both its probe continuations and
+    its suspect sets from these. *)

@@ -1,0 +1,15 @@
+(* Fixture: R5 — probe-program opcodes re-hardcoded. The wire codec and
+   the switch-side interpreter must agree on these bytes, so like the
+   EtherTypes they live in Constants. The decimal spelling [161] is
+   deliberate negative space: R5 matches the canonical hex literal
+   text, not the value. *)
+
+let stamp_op = 0xA1
+
+let classify = function
+  | 0xa2 -> `Mirror
+  | _ -> `Other
+
+let is_bounce op = op = 0xA3
+
+let not_an_opcode = 161

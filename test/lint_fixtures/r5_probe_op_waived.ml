@@ -1,0 +1,6 @@
+(* Fixture: R5 waived for a probe opcode — same waiver attribute as the
+   EtherTypes, reason required. *)
+
+let[@dumbnet.wire_const "fixture: replaying a capture whose generator hardcoded the opcode"] foreign_mirror
+    =
+  0xa2

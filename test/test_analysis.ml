@@ -100,6 +100,20 @@ let test_r5_wire_constants () =
      the plain 5s stay silent. *)
   check Alcotest.int "six re-hardcoded constants" 6 (count "R5" diags)
 
+let test_r5_probe_opcodes () =
+  let diags, _ = lint_fixture "r5_probe_op.ml" in
+  (* The 0xA1 binding, the 0xa2 pattern and the 0xA3 comparison — the
+     decimal 161 stays silent. *)
+  check Alcotest.int "three re-hardcoded opcodes" 3 (count "R5" diags);
+  check Alcotest.int "all are errors" 3 (List.length (errors diags))
+
+let test_r5_probe_opcode_waiver () =
+  let diags, waivers = lint_fixture "r5_probe_op_waived.ml" in
+  check Alcotest.int "no findings" 0 (List.length diags);
+  match waivers with
+  | [ w ] -> check Alcotest.int "wire_const waiver used" 1 w.Rules.w_hits
+  | ws -> Alcotest.failf "expected exactly one waiver, got %d" (List.length ws)
+
 let test_r5_waiver () =
   let diags, waivers = lint_fixture "r5_waived.ml" in
   check Alcotest.int "no findings" 0 (List.length diags);
@@ -208,6 +222,8 @@ let () =
       ( "r5",
         [
           Alcotest.test_case "wire constants" `Quick test_r5_wire_constants;
+          Alcotest.test_case "probe opcodes" `Quick test_r5_probe_opcodes;
+          Alcotest.test_case "probe opcode waiver" `Quick test_r5_probe_opcode_waiver;
           Alcotest.test_case "wire_const waiver" `Quick test_r5_waiver;
         ] );
       ("r6", [ Alcotest.test_case "magic and ignore" `Quick test_r6_magic_and_ignore ]);
