@@ -1,4 +1,4 @@
-.PHONY: all build test check lint fmt bench bench-perf bench-survivability diagnose clean
+.PHONY: all build test check lint fmt bench bench-perf bench-sim bench-survivability perf-table diagnose clean
 
 all: build
 
@@ -29,6 +29,25 @@ bench:
 # CI uses `-- perf --quick` with a loosened regression gate instead.
 bench-perf:
 	dune exec bench/main.exe -- perf
+
+# Sharded-engine shakeout: blast frames through the packet engine at
+# every shard width and print hop throughput plus the delivery digest —
+# the digest line must be identical on every run (determinism by
+# construction, DESIGN.md §12).
+bench-sim:
+	@for s in 1 2 4 8; do \
+		echo "== shards=$$s =="; \
+		dune exec bin/dumbnet_cli.exe -- hops -t fat-tree:8 --shards $$s --frames 20; \
+	done
+
+# Regenerate the perf tables and splice the generated BENCH_PERF.md
+# between the perf-table markers in README.md, so the README numbers
+# can never drift from BENCH_PERF.json again.
+perf-table: bench-perf
+	awk 'BEGIN { while ((getline line < "BENCH_PERF.md") > 0) tbl = tbl line "\n" } \
+	     /<!-- perf-table:begin -->/ { print; printf "%s", tbl; skip = 1; next } \
+	     /<!-- perf-table:end -->/ { skip = 0 } \
+	     !skip { print }' README.md > README.md.tmp && mv README.md.tmp README.md
 
 # Failure waves + hidden-fault localization; writes
 # BENCH_SURVIVABILITY.json. Full schedules — CI uses `--quick`, which

@@ -41,7 +41,9 @@ let list_experiments () =
 let () =
   (* Flags apply to the named experiments: --quick shrinks budgets and
      arms the regression gates (perf and survivability), --jobs N
-     (or DUMBNET_JOBS) adds a pool width to perf's scaling curve. *)
+     (or DUMBNET_JOBS) adds a pool width to perf's scaling curve, and
+     --shards N (or DUMBNET_SHARDS) adds a width to its sharded-engine
+     curve. *)
   let rec strip_flags = function
     | [] -> []
     | "--quick" :: rest ->
@@ -50,6 +52,9 @@ let () =
       strip_flags rest
     | "--jobs" :: n :: rest when int_of_string_opt n <> None ->
       E.Perf.jobs_override := int_of_string_opt n;
+      strip_flags rest
+    | "--shards" :: n :: rest when int_of_string_opt n <> None ->
+      E.Perf.shards_override := int_of_string_opt n;
       strip_flags rest
     | arg :: rest -> arg :: strip_flags rest
   in

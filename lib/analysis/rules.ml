@@ -377,7 +377,8 @@ let check_r6_magic ctx e =
    audited pool module, so pool lifetimes (the runtime caps live
    domains) and the batch determinism contract stay reviewable in one
    place. Sites that truly need an escape hatch say why. *)
-let domain_primitives = [ ("Domain", "spawn"); ("Mutex", "create"); ("Condition", "create") ]
+let domain_primitives =
+  [ ("Domain", "spawn"); ("Mutex", "create"); ("Condition", "create"); ("Atomic", "make") ]
 
 let check_r7_domain ctx e =
   if not ctx.skip_domain then

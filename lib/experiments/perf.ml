@@ -13,6 +13,7 @@ open Dumbnet_topology
 open Dumbnet_packet
 module Engine = Dumbnet_sim.Engine
 module Network = Dumbnet_sim.Network
+module Sharded = Dumbnet_sim.Sharded
 module Topo_store = Dumbnet_control.Topo_store
 module Rng = Dumbnet_util.Rng
 module Pool = Dumbnet_util.Pool
@@ -29,7 +30,18 @@ let requested_jobs () =
   | Some j -> max 1 j
   | None -> Pool.default_jobs ()
 
+(* `bench --shards N` / DUMBNET_SHARDS: an extra width appended to the
+   sharded-engine scaling curve. *)
+let shards_override : int option ref = ref None
+
+let requested_shards () =
+  match !shards_override with
+  | Some s -> max 1 s
+  | None -> Sharded.default_shards ()
+
 let json_path = "BENCH_PERF.json"
+
+let md_path = "BENCH_PERF.md"
 
 (* Pre-PR numbers: this benchmark run at the commit before the hot-path
    overhaul (PR 2), same budgets and seeds, medians of runs interleaved
@@ -42,6 +54,10 @@ let before : (string * float) list =
     ("pathgraph_per_sec_fat_tree_k8", 3596.);
     ("pathgraph_per_sec_jellyfish_64", 6232.);
     ("sim_hops_per_sec_fat_tree_k8", 596190.);
+    (* Measured on the classic single-heap engine at the commit before
+       the sharded rewrite (PR 7) — the jellyfish row had no earlier
+       incarnation. *)
+    ("sim_hops_per_sec_jellyfish_64", 0.);
     ("codec_roundtrips_per_sec", 348075.);
   ]
 
@@ -55,7 +71,13 @@ let committed : (string * float) list =
   [
     ("pathgraph_per_sec_fat_tree_k8", 23384.);
     ("pathgraph_per_sec_jellyfish_64", 31140.);
-    ("sim_hops_per_sec_fat_tree_k8", 1351901.);
+    (* Sharded-engine rewrite (PR 7): the shards=1 fast path must stay
+       ahead of both the classic engine's last committed number and its
+       own first measurement. The _shards1 row is the scaling curve's
+       gated entry; wider rows are reported, not gated. *)
+    ("sim_hops_per_sec_fat_tree_k8", 2060672.);
+    ("sim_hops_per_sec_jellyfish_64", 2095789.);
+    ("sim_hops_per_sec_fat_tree_k8_shards1", 2130727.);
     ("codec_roundtrips_per_sec", 471884.);
     ("pathgraph_batch_per_sec_fat_tree_k8_jobs1", 19338.);
     ("pathgraph_batch_per_sec_jellyfish_64_jobs1", 21003.);
@@ -253,50 +275,93 @@ let failure_convergence_bench built =
 
 (* Every host fires a burst of data frames along a precomputed source
    route; we charge the wall-clock cost of draining the event queue to
-   the switch hops it performed. *)
-let sim_hops_bench ~name built ~frames_per_host =
+   the switch hops it performed. Since PR 7 the workload runs on the
+   sharded engine ([Dumbnet_sim.Sharded]); shards=1 is its single-heap
+   fast path and the row every earlier PR's number compares against. *)
+let sim_routes built =
   let g = built.Builder.graph in
   let rng = Rng.create 11 in
   let hosts = Array.of_list built.Builder.hosts in
   let n = Array.length hosts in
-  let routes =
-    Array.to_list hosts
-    |> List.filter_map (fun src ->
-           let rec pick_dst tries =
-             if tries = 0 then None
+  Array.to_list hosts
+  |> List.filter_map (fun src ->
+         let rec pick_dst tries =
+           if tries = 0 then None
+           else
+             let dst = hosts.(Rng.int rng n) in
+             if dst = src then pick_dst (tries - 1)
              else
-               let dst = hosts.(Rng.int rng n) in
-               if dst = src then pick_dst (tries - 1)
-               else
-                 match Routing.host_route g ~src ~dst with
-                 | Some p -> Some (src, dst, Path.tags p)
-                 | None -> pick_dst (tries - 1)
-           in
-           pick_dst 5)
-  in
-  let payload = Payload.Data { flow = 0; seq = 0; size = 1000; sent_ns = 0 } in
-  let run_once () =
-    let eng = Engine.create () in
-    let net = Network.create ~engine:eng ~graph:g () in
-    List.iter (fun h -> Network.set_host_handler net h (fun _ -> ())) built.Builder.hosts;
-    List.iter
-      (fun (src, dst, tags_of) ->
-        for _ = 1 to frames_per_host do
-          Network.host_send net src (Frame.along_path ~src ~dst ~tags_of ~payload)
-        done)
-      routes;
-    Engine.run eng;
-    (Network.stats net).Network.switch_hops
-  in
+               match Routing.host_route g ~src ~dst with
+               | Some p -> Some (src, dst, Path.tags p)
+               | None -> pick_dst (tries - 1)
+         in
+         pick_dst 5)
+
+let sharded_run_hops ?pool ~shards built routes ~frames_per_host =
+  let sim = Sharded.create ~shards ~graph:built.Builder.graph () in
+  List.iter
+    (fun (src, dst, tags) ->
+      for _ = 1 to frames_per_host do
+        Sharded.inject sim ~at_ns:0 ~src ~dst ~tags ()
+      done)
+    routes;
+  Sharded.run ?pool sim;
+  Sharded.hops sim
+
+let sim_hops_bench ?pool ?(shards = 1) ~name built ~frames_per_host =
+  let routes = sim_routes built in
   let hops = ref 0 in
-  ignore (run_once ());
+  ignore (sharded_run_hops ?pool ~shards built routes ~frames_per_host);
   let t0 = Unix.gettimeofday () in
   let elapsed = ref 0. in
   while !elapsed < budget_s () do
-    hops := !hops + run_once ();
+    hops := !hops + sharded_run_hops ?pool ~shards built routes ~frames_per_host;
     elapsed := Unix.gettimeofday () -. t0
   done;
   (name, float_of_int !hops /. !elapsed)
+
+(* The sharded-engine scaling curve: shards 1/2/4/8 plus whatever
+   --shards/DUMBNET_SHARDS asks for, each run over min(shards, jobs)
+   domains. Every row reproduces the shards=1 stream byte-identically
+   (the determinism contract), so rows differ only in wall-clock. *)
+let shards_curve () = List.sort_uniq compare [ 1; 2; 4; 8; requested_shards () ]
+
+let sim_metric_name topo shards = Printf.sprintf "sim_hops_per_sec_%s_shards%d" topo shards
+
+let sim_scaling_curve ~topo built ~frames_per_host =
+  List.map
+    (fun shards ->
+      let name = sim_metric_name topo shards in
+      let jobs = min shards (requested_jobs ()) in
+      let _, ops =
+        if jobs > 1 then
+          Pool.with_pool ~jobs (fun pool ->
+              sim_hops_bench ~pool ~shards ~name built ~frames_per_host)
+        else sim_hops_bench ~shards ~name built ~frames_per_host
+      in
+      let cut =
+        List.length (Partition.compute built.Builder.graph ~shards).Partition.cut
+      in
+      (name, shards, ops, cut))
+    (shards_curve ())
+
+(* Gc.minor_words across one full drain of the shards=1 fast path,
+   divided by the hops it performed: the zero-allocation contract of
+   the frame pool + typed-event heap. Injection happens before the
+   first clock read, so only the steady-state loop is on the meter. *)
+let minor_words_bench built ~frames_per_host =
+  let routes = sim_routes built in
+  let sim = Sharded.create ~shards:1 ~graph:built.Builder.graph () in
+  List.iter
+    (fun (src, dst, tags) ->
+      for _ = 1 to frames_per_host do
+        Sharded.inject sim ~at_ns:0 ~src ~dst ~tags ()
+      done)
+    routes;
+  let w0 = Gc.minor_words () in
+  Sharded.run sim;
+  let w1 = Gc.minor_words () in
+  (w1 -. w0) /. float_of_int (max 1 (Sharded.hops sim))
 
 (* --- codec round-trips/sec ------------------------------------------- *)
 
@@ -325,7 +390,7 @@ let jobs1_ops rows =
   | Some (_, _, ops) -> ops
   | None -> 0.
 
-let write_json results scaling conv =
+let write_json results scaling sim_scaling minor_words conv =
   let oc = open_out json_path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -334,6 +399,8 @@ let write_json results scaling conv =
   p "    \"max_regression\": %.2f,\n" max_regression;
   p "    \"jobs_curve\": [%s],\n"
     (String.concat ", " (List.map string_of_int (jobs_curve ())));
+  p "    \"shards_curve\": [%s],\n"
+    (String.concat ", " (List.map string_of_int (shards_curve ())));
   p "    \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ());
   p "    \"topologies\": [\"fat_tree_k8\", \"jellyfish_64\"]\n";
   p "  },\n";
@@ -371,6 +438,26 @@ let write_json results scaling conv =
   in
   srows all_rows;
   p "  ],\n";
+  p "  \"sim_scaling\": [\n";
+  let base_shards1 =
+    match List.find_opt (fun (_, shards, _, _) -> shards = 1) sim_scaling with
+    | Some (_, _, ops, _) -> ops
+    | None -> 0.
+  in
+  let rec simrows = function
+    | [] -> ()
+    | (name, shards, ops, cut) :: rest ->
+      p "    {\"name\": \"%s\", \"shards\": %d, \"ops_per_sec\": %.1f, \
+         \"speedup_vs_shards1\": %.2f, \"cut_cables\": %d}%s\n"
+        name shards ops
+        (if base_shards1 > 0. then ops /. base_shards1 else 0.)
+        cut
+        (if rest = [] then "" else ",");
+      simrows rest
+  in
+  simrows sim_scaling;
+  p "  ],\n";
+  p "  \"minor_words_per_hop\": %.4f,\n" minor_words;
   p "  \"failure_convergence\": {\n";
   p "    \"topology\": \"fat_tree_k8\",\n";
   p "    \"jobs\": 1,\n";
@@ -387,6 +474,62 @@ let write_json results scaling conv =
   p "}\n";
   close_out oc
 
+(* --- BENCH_PERF.md: the README's perf tables, generated ---------------- *)
+
+(* README.md quotes these tables between "perf-table:begin/end" markers;
+   `make perf-table` re-runs the bench and splices this file in, so the
+   README can never drift from BENCH_PERF.json again. *)
+
+let thousands f =
+  let s = Printf.sprintf "%.0f" f in
+  let n = String.length s in
+  let buf = Buffer.create (n + 4) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (n - i) mod 3 = 0 then Buffer.add_char buf ' ';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let display_label = function
+  | "pathgraph_per_sec_fat_tree_k8" -> "path graphs/sec, fat tree k=8"
+  | "pathgraph_per_sec_jellyfish_64" -> "path graphs/sec, Jellyfish 64"
+  | "sim_hops_per_sec_fat_tree_k8" -> "simulated switch hops/sec, fat tree k=8"
+  | "sim_hops_per_sec_jellyfish_64" -> "simulated switch hops/sec, Jellyfish 64"
+  | "codec_roundtrips_per_sec" -> "frame codec round-trips/sec"
+  | s -> s
+
+let write_markdown results sim_scaling minor_words =
+  let oc = open_out md_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "| metric | before (ops/s) | after (ops/s) | speedup |\n";
+  p "|---|---:|---:|---:|\n";
+  List.iter
+    (fun (name, ops) ->
+      let b = assoc name before in
+      p "| %s | %s | %s | %s |\n" (display_label name)
+        (if b > 0. then thousands b else "—")
+        (thousands ops)
+        (if b > 0. then Printf.sprintf "%.1fx" (ops /. b) else "—"))
+    results;
+  p "\n";
+  p "Sharded engine scaling (fat tree k=8, conservative-lookahead windows,\n";
+  p "%.2f minor words/hop at shards=1 — gate ≤ 1.0):\n" minor_words;
+  p "\n";
+  p "| shards | cut cables | sim hops/s | vs shards=1 |\n";
+  p "|---:|---:|---:|---:|\n";
+  let base =
+    match List.find_opt (fun (_, shards, _, _) -> shards = 1) sim_scaling with
+    | Some (_, _, ops, _) -> ops
+    | None -> 0.
+  in
+  List.iter
+    (fun (_, shards, ops, cut) ->
+      p "| %d | %d | %s | %s |\n" shards cut (thousands ops)
+        (if base > 0. then Printf.sprintf "%.2fx" (ops /. base) else "—"))
+    sim_scaling;
+  close_out oc
+
 let run () =
   Report.section ~id:"Perf" ~title:"hot-path microbenchmarks (BENCH_PERF.json)";
   let ft8 = Builder.fat_tree ~k:8 () in
@@ -398,9 +541,12 @@ let run () =
       pathgraph_bench ~name:"pathgraph_per_sec_fat_tree_k8" ft8;
       pathgraph_bench ~name:"pathgraph_per_sec_jellyfish_64" jelly;
       sim_hops_bench ~name:"sim_hops_per_sec_fat_tree_k8" ft8 ~frames_per_host:20;
+      sim_hops_bench ~name:"sim_hops_per_sec_jellyfish_64" jelly ~frames_per_host:20;
       codec_bench ~name:"codec_roundtrips_per_sec";
     ]
   in
+  let sim_scaling = sim_scaling_curve ~topo:"fat_tree_k8" ft8 ~frames_per_host:20 in
+  let minor_words = minor_words_bench ft8 ~frames_per_host:20 in
   let scaling =
     [
       ("fat_tree_k8", batch_curve ~topo:"fat_tree_k8" ft8);
@@ -419,6 +565,27 @@ let run () =
            (if b > 0. then Printf.sprintf "%.2fx" (ops /. b) else "-");
          ])
        results);
+  Report.note
+    (Printf.sprintf
+       "sharded engine, fat_tree_k8 (conservative-lookahead windows over min(shards, \
+        jobs) domains; %.2f minor words/hop at shards=1):"
+       minor_words);
+  Report.table
+    ~headers:[ "shards"; "cut cables"; "sim hops/s"; "vs shards=1" ]
+    (let base =
+       match List.find_opt (fun (_, shards, _, _) -> shards = 1) sim_scaling with
+       | Some (_, _, ops, _) -> ops
+       | None -> 0.
+     in
+     List.map
+       (fun (_, shards, ops, cut) ->
+         [
+           string_of_int shards;
+           string_of_int cut;
+           Printf.sprintf "%.0f" ops;
+           (if base > 0. then Printf.sprintf "%.2fx" (ops /. base) else "-");
+         ])
+       sim_scaling);
   Report.note
     (Printf.sprintf
        "batched path-graph service, %d-query batches (Topo_store.serve_path_graphs; \
@@ -457,11 +624,12 @@ let run () =
       [ "re-pushed pairs/event"; Printf.sprintf "%.1f" conv.conv_repushed_per_event ];
       [ "scoping factor"; Printf.sprintf "%.1fx" conv.conv_scoping_factor ];
     ];
-  write_json results scaling conv;
-  Report.note (Printf.sprintf "wrote %s" json_path);
+  write_json results scaling sim_scaling minor_words conv;
+  write_markdown results sim_scaling minor_words;
+  Report.note (Printf.sprintf "wrote %s and %s" json_path md_path);
   if !quick then begin
-    (* Gate the sequential metrics plus the scheduling-free jobs=1
-       batch rows; jobs>1 rows depend on the host's core count. *)
+    (* Gate the sequential metrics plus the scheduling-free jobs=1 /
+       shards=1 rows; wider rows depend on the host's core count. *)
     let gated =
       results
       @ List.filter_map
@@ -469,8 +637,20 @@ let run () =
             List.find_opt (fun (_, jobs, _) -> jobs = 1) curve
             |> Option.map (fun (name, _, ops) -> (name, ops)))
           scaling
+      @ List.filter_map
+          (fun (name, shards, ops, _) -> if shards = 1 then Some (name, ops) else None)
+          sim_scaling
       @ [ ("failure_events_per_sec_fat_tree_k8_jobs1", conv.conv_events_per_sec) ]
     in
+    (* The frame pool's whole point: the steady-state hop loop must not
+       allocate. One word per hop of slack covers heap doublings. *)
+    if minor_words > 1.0 then begin
+      Printf.printf
+        "PERF REGRESSION: %.2f minor words per hop in the shards=1 forwarding loop \
+         (budget 1.0) — the zero-allocation contract broke\n"
+        minor_words;
+      exit 1
+    end;
     (* The point of incremental repair: a single-cable failure must
        avoid recomputing the overwhelming share of pushed path graphs.
        Anything under 5x means the subscription index has degraded

@@ -1,0 +1,181 @@
+open Dumbnet_topology
+
+type slot = int
+
+(* Per-slot tag region: enough for the longest stack a probe program
+   may carry (forward tags + continuation) plus the terminator. *)
+let max_tags = 64
+
+let stamp_fields = 4
+
+let stamp_stride = stamp_fields * Constants.int_max_stamps_per_frame
+
+type t = {
+  mutable cap : int;
+  mutable tags : Bytes.t; (* cap * max_tags *)
+  mutable tag_cur : int array; (* next unconsumed byte, slot-relative *)
+  mutable tag_len : int array; (* written bytes incl terminator *)
+  mutable stamps : int array; (* cap * stamp_stride *)
+  mutable nstamps : int array;
+  mutable srcs : int array;
+  mutable dsts : int array;
+  mutable payloads : int array;
+  mutable ints : Bytes.t; (* int_enabled flag per slot, 0 or 1 *)
+  mutable free : int array; (* free-list stack *)
+  mutable free_top : int;
+  mutable live : int;
+}
+
+let create ?(capacity = 1024) () =
+  let cap = max 1 capacity in
+  {
+    cap;
+    tags = Bytes.make (cap * max_tags) '\x00';
+    tag_cur = Array.make cap 0;
+    tag_len = Array.make cap 0;
+    stamps = Array.make (cap * stamp_stride) 0;
+    nstamps = Array.make cap 0;
+    srcs = Array.make cap 0;
+    dsts = Array.make cap 0;
+    payloads = Array.make cap 0;
+    ints = Bytes.make cap '\x00';
+    free = Array.init cap (fun i -> cap - 1 - i);
+    free_top = cap;
+    live = 0;
+  }
+
+let capacity t = t.cap
+
+let live t = t.live
+
+let grow t =
+  let cap' = t.cap * 2 in
+  let tags' = Bytes.make (cap' * max_tags) '\x00' in
+  Bytes.blit t.tags 0 tags' 0 (t.cap * max_tags);
+  t.tags <- tags';
+  let widen a = Array.append a (Array.make t.cap 0) in
+  t.tag_cur <- widen t.tag_cur;
+  t.tag_len <- widen t.tag_len;
+  let stamps' = Array.make (cap' * stamp_stride) 0 in
+  Array.blit t.stamps 0 stamps' 0 (t.cap * stamp_stride);
+  t.stamps <- stamps';
+  t.nstamps <- widen t.nstamps;
+  t.srcs <- widen t.srcs;
+  t.dsts <- widen t.dsts;
+  t.payloads <- widen t.payloads;
+  let ints' = Bytes.make cap' '\x00' in
+  Bytes.blit t.ints 0 ints' 0 t.cap;
+  t.ints <- ints';
+  (* The new upper half is entirely free. *)
+  let free' = Array.make cap' 0 in
+  Array.blit t.free 0 free' 0 t.free_top;
+  for i = 0 to t.cap - 1 do
+    free'.(t.free_top + i) <- cap' - 1 - i
+  done;
+  t.free <- free';
+  t.free_top <- t.free_top + t.cap;
+  t.cap <- cap'
+
+let acquire t ~src ~dst ~payload_bytes ~int_enabled =
+  if t.free_top = 0 then grow t;
+  t.free_top <- t.free_top - 1;
+  let s = t.free.(t.free_top) in
+  t.live <- t.live + 1;
+  t.tag_cur.(s) <- 0;
+  t.tag_len.(s) <- 0;
+  t.nstamps.(s) <- 0;
+  t.srcs.(s) <- src;
+  t.dsts.(s) <- dst;
+  t.payloads.(s) <- payload_bytes;
+  Bytes.set t.ints s (if int_enabled then '\x01' else '\x00');
+  s
+
+let set_tags t s ports =
+  let n = List.length ports in
+  if n + 1 > max_tags then invalid_arg "Frame_pool.set_tags: stack too long";
+  let base = s * max_tags in
+  let i = ref 0 in
+  List.iter
+    (fun p ->
+      if p < 1 || p > Types.max_port then
+        invalid_arg "Frame_pool.set_tags: port outside 1..max_port";
+      Bytes.set t.tags (base + !i) (Char.chr p);
+      incr i)
+    ports;
+  Bytes.set t.tags (base + n) (Char.chr Constants.tag_end_of_path);
+  t.tag_len.(s) <- n + 1;
+  t.tag_cur.(s) <- 0
+
+let release t s =
+  t.free.(t.free_top) <- s;
+  t.free_top <- t.free_top + 1;
+  t.live <- t.live - 1
+
+let peek_tag t s =
+  if t.tag_cur.(s) >= t.tag_len.(s) then Constants.tag_end_of_path
+  else Char.code (Bytes.get t.tags ((s * max_tags) + t.tag_cur.(s)))
+
+let advance t s = t.tag_cur.(s) <- t.tag_cur.(s) + 1
+
+let remaining_tag_bytes t s = t.tag_len.(s) - t.tag_cur.(s)
+
+let src t s = t.srcs.(s)
+
+let dst t s = t.dsts.(s)
+
+let payload_bytes t s = t.payloads.(s)
+
+let int_enabled t s = Bytes.get t.ints s <> '\x00'
+
+let stamp_count t s = t.nstamps.(s)
+
+let try_stamp t s ~switch ~port ~queue_depth ~timestamp_ns =
+  if
+    Bytes.get t.ints s <> '\x00'
+    && t.nstamps.(s) < Constants.int_max_stamps_per_frame
+  then begin
+    let base = (s * stamp_stride) + (t.nstamps.(s) * stamp_fields) in
+    t.stamps.(base) <- switch;
+    t.stamps.(base + 1) <- port;
+    t.stamps.(base + 2) <- queue_depth;
+    t.stamps.(base + 3) <- timestamp_ns;
+    t.nstamps.(s) <- t.nstamps.(s) + 1;
+    true
+  end
+  else false
+
+let stamp_switch t s i = t.stamps.((s * stamp_stride) + (i * stamp_fields))
+
+let stamp_port t s i = t.stamps.((s * stamp_stride) + (i * stamp_fields) + 1)
+
+let stamp_queue t s i = t.stamps.((s * stamp_stride) + (i * stamp_fields) + 2)
+
+let stamp_time t s i = t.stamps.((s * stamp_stride) + (i * stamp_fields) + 3)
+
+(* Frame.byte_size's law for a program-free frame: the consumed prefix
+   of the tag stack is gone from the wire, the terminator is not. *)
+let byte_size t s =
+  Constants.eth_header_bytes
+  + (t.tag_len.(s) - t.tag_cur.(s))
+  + 1 (* TOS byte *)
+  + (if Bytes.get t.ints s <> '\x00' then
+       1 (* stamp count *) + (Constants.int_stamp_wire_size * t.nstamps.(s))
+     else 0)
+  + Constants.fcs_bytes + t.payloads.(s)
+
+let export_tags t s =
+  Bytes.sub t.tags ((s * max_tags) + t.tag_cur.(s)) (remaining_tag_bytes t s)
+
+let export_stamps t s =
+  Array.sub t.stamps (s * stamp_stride) (t.nstamps.(s) * stamp_fields)
+
+let import t ~src ~dst ~payload_bytes ~int_enabled ~tags ~stamps =
+  let s = acquire t ~src ~dst ~payload_bytes ~int_enabled in
+  let n = Bytes.length tags in
+  if n > max_tags then invalid_arg "Frame_pool.import: stack too long";
+  Bytes.blit tags 0 t.tags (s * max_tags) n;
+  t.tag_len.(s) <- n;
+  t.tag_cur.(s) <- 0;
+  Array.blit stamps 0 t.stamps (s * stamp_stride) (Array.length stamps);
+  t.nstamps.(s) <- Array.length stamps / stamp_fields;
+  s

@@ -1,0 +1,111 @@
+(** Struct-of-arrays pooled frames for the sharded simulator's hot loop.
+
+    A slot is a flat-array frame: a byte region holding the remaining
+    tag stack (port bytes then the ø terminator, consumed by advancing a
+    cursor instead of popping a list), a fixed int region for INT
+    stamps, and scalar metadata (src/dst host, payload bytes, flags).
+    Slots are recycled on delivery or drop, so the steady-state
+    forwarding loop performs zero minor allocations — the property
+    [bench perf] verifies with its [minor_words_per_hop] counter.
+
+    Acquisition fully resets the slot's indices; no state from a
+    previous life (tags, stamps, probe bytes) is ever observable
+    through the accessors. The pool grows by doubling when exhausted,
+    so [acquire] never fails; growth only happens outside the
+    steady state. Not thread-safe — the sharded engine gives each
+    domain its own pool. *)
+
+type t
+
+type slot = int
+
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+val live : t -> int
+(** Slots currently acquired — 0 again once every frame was delivered
+    or dropped, which the reuse tests assert. *)
+
+val acquire :
+  t -> src:int -> dst:int -> payload_bytes:int -> int_enabled:bool -> slot
+(** A fresh slot with an empty tag region (cursor = length = 0) and no
+    stamps. Follow with {!set_tags} or {!blit_tags}. *)
+
+val set_tags : t -> slot -> int list -> unit
+(** Writes the tag stack as port bytes followed by the ø terminator and
+    rewinds the cursor. Raises [Invalid_argument] if a port is outside
+    [1..Types.max_port] or the stack exceeds the slot's tag region. *)
+
+val release : t -> slot -> unit
+(** Returns the slot to the free list. Releasing a slot twice is a
+    programming error the pool does not detect — the engine releases
+    exactly once, at delivery or drop. *)
+
+(** {1 Hop-loop accessors — all allocation-free} *)
+
+val peek_tag : t -> slot -> int
+(** The next tag byte without consuming it: a port number, or
+    [Constants.tag_end_of_path] when the stack is exhausted. *)
+
+val advance : t -> slot -> unit
+(** Consume the tag {!peek_tag} returned (the switch popped it). *)
+
+val remaining_tag_bytes : t -> slot -> int
+(** Unconsumed tag bytes including the terminator — the tag stack's
+    contribution to {!byte_size}. *)
+
+val src : t -> slot -> int
+
+val dst : t -> slot -> int
+
+val payload_bytes : t -> slot -> int
+
+val int_enabled : t -> slot -> bool
+
+val stamp_count : t -> slot -> int
+
+val try_stamp :
+  t -> slot -> switch:int -> port:int -> queue_depth:int -> timestamp_ns:int -> bool
+(** Append an INT stamp if the frame carries the INT flag and the
+    region has room (mirrors the dataplane's stamp-on-pop). Returns
+    whether a stamp was written — the engine's [int_stamped] stat. *)
+
+val stamp_switch : t -> slot -> int -> int
+
+val stamp_port : t -> slot -> int -> int
+
+val stamp_queue : t -> slot -> int -> int
+
+val stamp_time : t -> slot -> int -> int
+
+val byte_size : t -> slot -> int
+(** Wire size under {!Frame.byte_size}'s law for a program-free frame:
+    Ethernet header + remaining tags (with terminator) + TOS byte +
+    INT region (count byte + stamps, iff INT-enabled) + FCS + payload. *)
+
+(** {1 Cross-shard handoff}
+
+    When a frame crosses a shard cut it leaves its origin pool and is
+    materialized in the destination shard's pool. The export side
+    allocates (a Bytes and an int array per crossing) — acceptable
+    because only cut cables pay it, never the intra-shard steady
+    state. *)
+
+val export_tags : t -> slot -> Bytes.t
+(** The unconsumed tag bytes, terminator included. *)
+
+val export_stamps : t -> slot -> int array
+(** The stamp region's used prefix, 4 ints per stamp. *)
+
+val import :
+  t ->
+  src:int ->
+  dst:int ->
+  payload_bytes:int ->
+  int_enabled:bool ->
+  tags:Bytes.t ->
+  stamps:int array ->
+  slot
+(** Materialize an exported frame: tag cursor rewound to the first
+    exported byte, stamps restored in order. *)

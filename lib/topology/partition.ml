@@ -1,0 +1,155 @@
+open Types
+
+type t = {
+  shards : int;
+  of_switch : int array;
+  sizes : int array;
+  cut : Link_key.t list;
+}
+
+(* Switch-to-switch adjacency over *cables* (link up/down ignored): the
+   partition must be a function of the wiring alone so failure churn
+   during a run never moves a switch between shards. CSR layout. *)
+let cable_adjacency g =
+  let n = Graph.num_switches g in
+  let deg = Array.make n 0 in
+  let cables = Graph.switch_links g in
+  List.iter
+    (fun (key, _up) ->
+      let a, b = Link_key.ends key in
+      deg.(a.sw) <- deg.(a.sw) + 1;
+      deg.(b.sw) <- deg.(b.sw) + 1)
+    cables;
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + deg.(i)
+  done;
+  let nbr = Array.make (max 1 off.(n)) 0 in
+  let cursor = Array.copy off in
+  List.iter
+    (fun (key, _up) ->
+      let a, b = Link_key.ends key in
+      nbr.(cursor.(a.sw)) <- b.sw;
+      cursor.(a.sw) <- cursor.(a.sw) + 1;
+      nbr.(cursor.(b.sw)) <- a.sw;
+      cursor.(b.sw) <- cursor.(b.sw) + 1)
+    cables;
+  (off, nbr)
+
+(* Region sizes follow Pool's chunking convention: shard [w] targets
+   [(w+1)*n/shards - w*n/shards] switches, so sizes differ by at most
+   one and every shard is non-empty. *)
+let target_size n shards w = (((w + 1) * n) / shards) - ((w * n) / shards)
+
+let grow_regions n shards (off, nbr) =
+  let assign = Array.make n (-1) in
+  (* gain.(s) = cabled neighbors of [s] already inside the region being
+     grown; reset between regions via the [stamp] epoch. *)
+  let gain = Array.make n 0 in
+  let stamp = Array.make n (-1) in
+  for w = 0 to shards - 1 do
+    let want = target_size n shards w in
+    let grown = ref 0 in
+    while !grown < want do
+      (* Pick the unassigned switch with the most edges into the region
+         (ties to the smallest id); a fresh seed when the frontier is
+         empty — also what starts each region and re-seeds across
+         disconnected components. *)
+      let best = ref (-1) and best_gain = ref (-1) in
+      for s = n - 1 downto 0 do
+        if assign.(s) < 0 then begin
+          let gs = if stamp.(s) = w then gain.(s) else 0 in
+          if gs >= !best_gain then begin
+            best := s;
+            best_gain := gs
+          end
+        end
+      done;
+      let s = !best in
+      assign.(s) <- w;
+      incr grown;
+      for i = off.(s) to off.(s + 1) - 1 do
+        let m = nbr.(i) in
+        if assign.(m) < 0 then
+          if stamp.(m) = w then gain.(m) <- gain.(m) + 1
+          else begin
+            stamp.(m) <- w;
+            gain.(m) <- 1
+          end
+      done
+    done
+  done;
+  assign
+
+(* Greedy refinement: move a boundary switch to the neighboring shard
+   holding most of its cables when that strictly reduces the cut and
+   both shards stay within one switch of their target size. Fixed pass
+   count and id-order scanning keep it deterministic. *)
+let refine n shards (off, nbr) assign sizes =
+  let lo = Array.init shards (fun w -> max 1 (target_size n shards w - 1)) in
+  let hi = Array.init shards (fun w -> target_size n shards w + 1) in
+  let links_to = Array.make shards 0 in
+  let passes = 4 in
+  for _pass = 1 to passes do
+    for s = 0 to n - 1 do
+      let cur = assign.(s) in
+      if sizes.(cur) > lo.(cur) then begin
+        Array.fill links_to 0 shards 0;
+        for i = off.(s) to off.(s + 1) - 1 do
+          let w = assign.(nbr.(i)) in
+          links_to.(w) <- links_to.(w) + 1
+        done;
+        let best = ref cur in
+        for w = 0 to shards - 1 do
+          if
+            w <> cur
+            && sizes.(w) < hi.(w)
+            && (links_to.(w) > links_to.(!best)
+               || (links_to.(w) = links_to.(!best) && w < !best && !best <> cur)
+               )
+          then best := w
+        done;
+        if !best <> cur && links_to.(!best) > links_to.(cur) then begin
+          assign.(s) <- !best;
+          sizes.(cur) <- sizes.(cur) - 1;
+          sizes.(!best) <- sizes.(!best) + 1
+        end
+      end
+    done
+  done
+
+let cut_of g assign =
+  Graph.switch_links g
+  |> List.filter_map (fun (key, _up) ->
+         let a, b = Link_key.ends key in
+         if assign.(a.sw) <> assign.(b.sw) then Some key else None)
+  |> List.sort Link_key.compare
+
+let compute g ~shards =
+  let n = Graph.num_switches g in
+  let shards = max 1 (min shards (max 1 n)) in
+  if shards = 1 || n = 0 then
+    {
+      shards = 1;
+      of_switch = Array.make n 0;
+      sizes = [| n |];
+      cut = [];
+    }
+  else begin
+    let adj = cable_adjacency g in
+    let assign = grow_regions n shards adj in
+    let sizes = Array.make shards 0 in
+    Array.iter (fun w -> sizes.(w) <- sizes.(w) + 1) assign;
+    refine n shards adj assign sizes;
+    { shards; of_switch = assign; sizes; cut = cut_of g assign }
+  end
+
+let shard_of_host t g h =
+  match Graph.host_location g h with
+  | None -> None
+  | Some le -> Some t.of_switch.(le.sw)
+
+let cut_fraction t g =
+  let total = List.length (Graph.switch_links g) in
+  if total = 0 then 0.0
+  else float_of_int (List.length t.cut) /. float_of_int total

@@ -1,6 +1,6 @@
 (* R7 fixture: raw multicore primitives outside the pool module. The
-   spawn, the lock and the condvar must each be flagged; talking about
-   domains without creating them stays legal. *)
+   spawn, the lock, the condvar and the atomic must each be flagged;
+   talking about domains without creating them stays legal. *)
 
 let d = Domain.spawn (fun () -> 41 + 1)
 
@@ -8,8 +8,12 @@ let m = Mutex.create ()
 
 let c = Condition.create ()
 
+let a = Atomic.make 0
+
 (* Reading pool-style knobs is fine — only creation is fenced. *)
 let cores = Domain.recommended_domain_count ()
+
+let current () = Atomic.get a
 
 let locked f =
   Mutex.lock m;

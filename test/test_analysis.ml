@@ -131,9 +131,16 @@ let test_r6_magic_and_ignore () =
 
 let test_r7_domain_primitives () =
   let diags, _ = lint_fixture "r7_domain.ml" in
-  check Alcotest.int "spawn, mutex and condvar flagged" 3 (count "R7" diags);
-  (* join/lock/recommended_domain_count never create, so stay silent. *)
-  check Alcotest.int "nothing else" 3 (List.length diags)
+  check Alcotest.int "spawn, mutex, condvar and atomic flagged" 4 (count "R7" diags);
+  (* join/lock/get/recommended_domain_count never create, so stay silent. *)
+  check Alcotest.int "nothing else" 4 (List.length diags)
+
+let test_r7_sim_shard_path_fenced () =
+  (* The sharded engine lives in lib/sim and schedules its shards through
+     Pool — the fence must keep applying there, so the same primitives
+     attributed to that path are all still flagged. *)
+  let diags, _ = lint_fixture "r7_domain.ml" ~file:"lib/sim/sharded.ml" in
+  check Alcotest.int "sharded engine not exempt" 4 (count "R7" diags)
 
 let test_r7_pool_module_exempt () =
   (* The same source attributed to the pool module itself: that is the
@@ -230,6 +237,7 @@ let () =
       ( "r7",
         [
           Alcotest.test_case "domain primitives fenced" `Quick test_r7_domain_primitives;
+          Alcotest.test_case "sharded engine path fenced" `Quick test_r7_sim_shard_path_fenced;
           Alcotest.test_case "pool module exempt" `Quick test_r7_pool_module_exempt;
           Alcotest.test_case "domain waiver" `Quick test_r7_waiver;
         ] );
