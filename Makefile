@@ -1,4 +1,4 @@
-.PHONY: all build test check lint fmt bench bench-perf bench-sim bench-survivability perf-table diagnose clean
+.PHONY: all build test check lint callgraph fmt bench bench-perf bench-sim bench-survivability perf-table perf-splice diagnose clean
 
 all: build
 
@@ -8,10 +8,18 @@ build:
 test:
 	dune runtest
 
-# The static-analysis gate: parses every .ml under lib/, bin/ and
-# bench/ and enforces the fabric invariants (see DESIGN.md §8).
+# The static-analysis gate: parses every .ml under lib/, bin/, bench/
+# and examples/, links the cross-module call graph and enforces the
+# fabric invariants — syntactic (R1-R7) and interprocedural (R8-R10,
+# see DESIGN.md §8). The R9 inferred-hot ratchet comes from
+# lint_ratchet.json and may only go down.
 lint:
 	dune exec bin/dumbnet_lint.exe -- --gate --waivers
+
+# Dump the interprocedural call graph. callgraph.dot renders with
+# graphviz; swap the suffix for the JSON form.
+callgraph:
+	dune exec bin/dumbnet_lint.exe -- --quiet --callgraph callgraph.dot
 
 # What CI runs: a clean build with no warnings-as-errors surprises,
 # then the full test tree and the lint gate.
@@ -43,7 +51,12 @@ bench-sim:
 # Regenerate the perf tables and splice the generated BENCH_PERF.md
 # between the perf-table markers in README.md, so the README numbers
 # can never drift from BENCH_PERF.json again.
-perf-table: bench-perf
+perf-table: bench-perf perf-splice
+
+# The splice alone, from the committed BENCH_PERF.md — deterministic,
+# so CI can re-run it and fail on a stale README block without the
+# bench's run-to-run noise.
+perf-splice:
 	awk 'BEGIN { while ((getline line < "BENCH_PERF.md") > 0) tbl = tbl line "\n" } \
 	     /<!-- perf-table:begin -->/ { print; printf "%s", tbl; skip = 1; next } \
 	     /<!-- perf-table:end -->/ { skip = 0 } \

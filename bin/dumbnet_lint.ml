@@ -1,24 +1,32 @@
 (* dumbnet-lint: static analysis of the project's own sources, enforcing
-   the fabric invariants documented in DESIGN.md §8.
+   the fabric invariants documented in DESIGN.md §8. Two passes: a
+   per-file syntactic walk (R1–R7) and an interprocedural pass over the
+   cross-module call graph (R8–R10).
 
    Usage: dumbnet_lint [options] [dir ...]
-     --root DIR   repo root (default: auto-detected from cwd)
-     --gate       exit 1 on any error-severity finding (CI mode)
-     --json FILE  also write the JSON report to FILE
-     --waivers    list every waiver with its hit count and reason
-     --quiet      suppress per-finding output, print the summary only
+     --root DIR       repo root (default: auto-detected from cwd)
+     --gate           exit 1 on any error-severity finding (CI mode)
+     --json FILE      also write the JSON report to FILE
+     --callgraph FILE dump the call graph (.dot => DOT, else JSON)
+     --waivers        list every waiver with its hit count and reason
+     --quiet          suppress per-finding output, print the summary only
 
-   With no directories given, lints lib/, bin/ and bench/. *)
+   With no directories given, lints lib/, bin/, bench/ and examples/.
+   Repeated or overlapping directory arguments are deduplicated. The R9
+   inferred-hot ratchet is read from lint_ratchet.json at the root;
+   exceeding it is an error, so the count can only go down. *)
 
 module Lint = Dumbnet_analysis.Lint
-module Rules = Dumbnet_analysis.Rules
 
-let usage = "dumbnet_lint [--root DIR] [--gate] [--json FILE] [--waivers] [--quiet] [dir ...]"
+let usage =
+  "dumbnet_lint [--root DIR] [--gate] [--json FILE] [--callgraph FILE] [--waivers] \
+   [--quiet] [dir ...]"
 
 let () =
   let root = ref None in
   let gate = ref false in
   let json = ref None in
+  let callgraph = ref None in
   let list_waivers = ref false in
   let quiet = ref false in
   let dirs = ref [] in
@@ -27,6 +35,9 @@ let () =
       ("--root", Arg.String (fun s -> root := Some s), "DIR repo root (default: auto)");
       ("--gate", Arg.Set gate, " exit 1 on any error-severity finding");
       ("--json", Arg.String (fun s -> json := Some s), "FILE write the JSON report");
+      ( "--callgraph",
+        Arg.String (fun s -> callgraph := Some s),
+        "FILE dump the call graph (.dot => DOT, otherwise JSON)" );
       ("--waivers", Arg.Set list_waivers, " list waivers with hit counts and reasons");
       ("--quiet", Arg.Set quiet, " print only the summary");
     ]
@@ -42,14 +53,22 @@ let () =
         prerr_endline "dumbnet_lint: cannot find the repo root; pass --root";
         exit 2)
   in
-  let dirs = match List.rev !dirs with [] -> [ "lib"; "bin"; "bench" ] | ds -> ds in
-  let report = Lint.scan ~root ~dirs () in
+  let dirs =
+    match List.rev !dirs with
+    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+    | ds -> List.sort_uniq String.compare ds
+  in
+  let ratchet = Lint.read_ratchet ~root in
+  let report = Lint.scan ?ratchet ~root ~dirs () in
   if not !quiet then Lint.render_text Format.std_formatter report;
   if !list_waivers then Lint.render_waivers Format.std_formatter report;
   (match !json with Some path -> Lint.write_json report path | None -> ());
+  (match !callgraph with Some path -> Lint.write_callgraph report path | None -> ());
   let errors = List.length (Lint.errors report) in
-  Printf.printf "dumbnet-lint: %d files, %d errors, %d advisories, %d waivers\n"
+  Printf.printf
+    "dumbnet-lint: %d files, %d errors, %d advisories, %d waivers, %d inferred-hot\n"
     report.Lint.files_scanned errors
     (List.length (Lint.advice report))
-    (List.length report.Lint.waivers);
+    (List.length report.Lint.waivers)
+    report.Lint.inferred_hot_count;
   if !gate && errors > 0 then exit 1

@@ -1,0 +1,222 @@
+(* Pass 2, step 1: link per-unit summaries (Summary.t) into one
+   cross-module call graph. Nodes are resolved function ids
+   ("Module.fn", plus synthetic "Module.fn.<cb:LINE>" nodes for
+   callback literals); edges are the resolved calls whose callee has a
+   summary — calls into the stdlib or unresolvable names simply don't
+   become edges. The graph also owns the global view of toplevel
+   mutable slots: record-literal candidates from pass 1 are promoted to
+   slots here, once every unit's mutable-field declarations are in. *)
+
+type t = {
+  fns : (string, Summary.fn) Hashtbl.t;
+  slots : (string, Summary.slot) Hashtbl.t;
+  order : string list; (* fn ids in input order, for stable output *)
+}
+
+let build (summaries : Summary.t list) =
+  let mutable_fields = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Summary.t) ->
+      List.iter (fun f -> Hashtbl.replace mutable_fields f ()) s.Summary.sum_mutable_fields)
+    summaries;
+  let fns = Hashtbl.create 512 in
+  let slots = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Summary.t) ->
+      List.iter
+        (fun (f : Summary.fn) ->
+          if not (Hashtbl.mem fns f.Summary.f_id) then begin
+            Hashtbl.replace fns f.Summary.f_id f;
+            order := f.Summary.f_id :: !order
+          end)
+        s.Summary.sum_fns;
+      List.iter
+        (fun (sl : Summary.slot) ->
+          let keep =
+            match sl.Summary.s_kind with
+            | Summary.Record_cand fields ->
+              (* a toplevel record literal is mutable state iff one of
+                 its fields is declared [mutable] somewhere we scanned *)
+              List.exists (Hashtbl.mem mutable_fields) fields
+            | Summary.Ref | Summary.Container | Summary.Atomic_slot -> true
+          in
+          if keep then Hashtbl.replace slots sl.Summary.s_id sl)
+        s.Summary.sum_slots)
+    summaries;
+  { fns; slots; order = List.rev !order }
+
+let find_fn t id = Hashtbl.find_opt t.fns id
+
+let find_slot t id = Hashtbl.find_opt t.slots id
+
+let fold_fns t f acc =
+  List.fold_left
+    (fun acc id -> match Hashtbl.find_opt t.fns id with Some fn -> f acc fn | None -> acc)
+    acc t.order
+
+(* BFS from [roots] along call edges. [enter id] decides whether the
+   traversal may descend *into* a node's callees (guarded entry points
+   refuse); the node itself is still visited. [follow] filters edges by
+   their call record (R10 skips calls under try). Returns the visited
+   set and a parent map for witness-path reconstruction. *)
+let reachable t ~roots ?(enter = fun _ -> true) ?(follow = fun (_ : Summary.call) -> true)
+    () =
+  let seen = Hashtbl.create 256 in
+  let parent = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem t.fns r && not (Hashtbl.mem seen r) then begin
+        Hashtbl.replace seen r ();
+        Queue.add r queue
+      end)
+    roots;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    if enter id then
+      match Hashtbl.find_opt t.fns id with
+      | None -> ()
+      | Some fn ->
+        List.iter
+          (fun (c : Summary.call) ->
+            let callee = c.Summary.c_callee in
+            if
+              follow c && Hashtbl.mem t.fns callee && not (Hashtbl.mem seen callee)
+            then begin
+              Hashtbl.replace seen callee ();
+              Hashtbl.replace parent callee id;
+              Queue.add callee queue
+            end)
+          fn.Summary.f_calls
+  done;
+  (seen, parent)
+
+(* Witness chain root -> ... -> id, rendered "A.f -> B.g -> C.h". *)
+let path_to parent id =
+  let rec up acc id =
+    match Hashtbl.find_opt parent id with None -> id :: acc | Some p -> up (id :: acc) p
+  in
+  String.concat " -> " (up [] id)
+
+(* --- dumps ------------------------------------------------------------ *)
+
+let fn_json (f : Summary.fn) ~inferred_hot =
+  let kind =
+    match f.Summary.f_kind with
+    | Summary.Toplevel -> "fn"
+    | Summary.Parallel_cb r -> "parallel_cb:" ^ r
+    | Summary.Engine_cb r -> "engine_cb:" ^ r
+  in
+  Printf.sprintf
+    {|{"id":"%s","file":"%s","line":%d,"kind":"%s","hot":%b,"inferred_hot":%b,"raises":%b}|}
+    (Diagnostic.json_escape f.Summary.f_id)
+    (Diagnostic.json_escape f.Summary.f_file)
+    f.Summary.f_line kind f.Summary.f_hot inferred_hot
+    (f.Summary.f_raises <> [])
+
+let to_json t ~inferred_hot =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\n  \"functions\": [";
+  let first = ref true in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.fns id with
+      | None -> ()
+      | Some f ->
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Buffer.add_string buf "\n    ";
+        Buffer.add_string buf (fn_json f ~inferred_hot:(Hashtbl.mem inferred_hot id)))
+    t.order;
+  Buffer.add_string buf "\n  ],\n  \"edges\": [";
+  first := true;
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.fns id with
+      | None -> ()
+      | Some f ->
+        List.iter
+          (fun (c : Summary.call) ->
+            if Hashtbl.mem t.fns c.Summary.c_callee then begin
+              if not !first then Buffer.add_char buf ',';
+              first := false;
+              Buffer.add_string buf
+                (Printf.sprintf "\n    {\"from\":\"%s\",\"to\":\"%s\",\"in_try\":%b}"
+                   (Diagnostic.json_escape id)
+                   (Diagnostic.json_escape c.Summary.c_callee)
+                   c.Summary.c_in_try)
+            end)
+          f.Summary.f_calls)
+    t.order;
+  Buffer.add_string buf "\n  ],\n  \"slots\": [";
+  let slot_ids =
+    List.sort_uniq String.compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.slots [])
+  in
+  List.iteri
+    (fun i id ->
+      match Hashtbl.find_opt t.slots id with
+      | None -> ()
+      | Some (s : Summary.slot) ->
+        if i > 0 then Buffer.add_char buf ',';
+        let kind =
+          match s.Summary.s_kind with
+          | Summary.Ref -> "ref"
+          | Summary.Container -> "container"
+          | Summary.Atomic_slot -> "atomic"
+          | Summary.Record_cand _ -> "record"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "\n    {\"id\":\"%s\",\"kind\":\"%s\",\"file\":\"%s\",\"line\":%d}"
+             (Diagnostic.json_escape id) kind
+             (Diagnostic.json_escape s.Summary.s_file)
+             s.Summary.s_line))
+    slot_ids;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let dot_escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot t ~inferred_hot =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "digraph dumbnet_callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.fns id with
+      | None -> ()
+      | Some f ->
+        let attrs =
+          if f.Summary.f_hot then " style=filled fillcolor=\"#ffd0d0\""
+          else if Hashtbl.mem inferred_hot id then " style=filled fillcolor=\"#ffeccc\""
+          else
+            match f.Summary.f_kind with
+            | Summary.Parallel_cb _ -> " style=filled fillcolor=\"#d0e0ff\""
+            | Summary.Engine_cb _ -> " style=filled fillcolor=\"#e0ffd0\""
+            | Summary.Toplevel -> ""
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  \"%s\"[%s];\n" (dot_escape id)
+             (String.trim attrs)))
+    t.order;
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.fns id with
+      | None -> ()
+      | Some f ->
+        let seen_edges = Hashtbl.create 8 in
+        List.iter
+          (fun (c : Summary.call) ->
+            if
+              Hashtbl.mem t.fns c.Summary.c_callee
+              && not (Hashtbl.mem seen_edges c.Summary.c_callee)
+            then begin
+              Hashtbl.replace seen_edges c.Summary.c_callee ();
+              Buffer.add_string buf
+                (Printf.sprintf "  \"%s\" -> \"%s\";\n" (dot_escape id)
+                   (dot_escape c.Summary.c_callee))
+            end)
+          f.Summary.f_calls)
+    t.order;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -55,3 +55,101 @@ let to_json t =
     {|{"file":"%s","line":%d,"col":%d,"rule":"%s","severity":"%s","message":"%s"}|}
     (json_escape t.file) t.line t.col (json_escape t.rule)
     (severity_label t.severity) (json_escape t.message)
+
+(* Inverse of [to_json], for consumers of the report (and the schema
+   round-trip test). Accepts exactly the object shape we emit — fields
+   in any order, [json_escape]d strings — and returns None on anything
+   else rather than guessing. *)
+let of_json s =
+  let n = String.length s in
+  let ws i =
+    let i = ref i in
+    while !i < n && (s.[!i] = ' ' || s.[!i] = '\n' || s.[!i] = '\t' || s.[!i] = '\r') do
+      incr i
+    done;
+    !i
+  in
+  let parse_string i =
+    if i >= n || s.[i] <> '"' then None
+    else
+      let buf = Buffer.create 32 in
+      let rec go i =
+        if i >= n then None
+        else
+          match s.[i] with
+          | '"' -> Some (Buffer.contents buf, i + 1)
+          | '\\' when i + 1 < n -> (
+            match s.[i + 1] with
+            | '"' -> Buffer.add_char buf '"'; go (i + 2)
+            | '\\' -> Buffer.add_char buf '\\'; go (i + 2)
+            | 'n' -> Buffer.add_char buf '\n'; go (i + 2)
+            | 't' -> Buffer.add_char buf '\t'; go (i + 2)
+            | 'u' when i + 5 < n ->
+              let hex = String.sub s (i + 2) 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 ->
+                Buffer.add_char buf (Char.chr code);
+                go (i + 6)
+              | _ -> None)
+            | _ -> None)
+          | c -> Buffer.add_char buf c; go (i + 1)
+      in
+      go (i + 1)
+  in
+  let parse_int i =
+    let stop = ref i in
+    while
+      !stop < n && (s.[!stop] = '-' || (s.[!stop] >= '0' && s.[!stop] <= '9'))
+    do
+      incr stop
+    done;
+    if !stop = i then None
+    else
+      Option.map (fun v -> (v, !stop)) (int_of_string_opt (String.sub s i (!stop - i)))
+  in
+  let fields = Hashtbl.create 8 in
+  let rec members i =
+    let i = ws i in
+    match parse_string i with
+    | None -> None
+    | Some (key, i) -> (
+      let i = ws i in
+      if i >= n || s.[i] <> ':' then None
+      else
+        let i = ws (i + 1) in
+        let value =
+          match parse_string i with
+          | Some (v, i) -> Some (`Str v, i)
+          | None -> Option.map (fun (v, i) -> (`Int v, i)) (parse_int i)
+        in
+        match value with
+        | None -> None
+        | Some (v, i) -> (
+          Hashtbl.replace fields key v;
+          let i = ws i in
+          if i < n && s.[i] = ',' then members (i + 1)
+          else if i < n && s.[i] = '}' then Some (i + 1)
+          else None))
+  in
+  let i = ws 0 in
+  if i >= n || s.[i] <> '{' then None
+  else
+    match members (i + 1) with
+    | None -> None
+    | Some close -> (
+      let rest = ws close in
+      if rest <> n then None
+      else
+        let str k =
+          match Hashtbl.find_opt fields k with Some (`Str v) -> Some v | _ -> None
+        in
+        let int k =
+          match Hashtbl.find_opt fields k with Some (`Int v) -> Some v | _ -> None
+        in
+        match (str "file", int "line", int "col", str "rule", str "severity", str "message") with
+        | Some file, Some line, Some col, Some rule, Some severity, Some message -> (
+          match severity with
+          | "error" -> Some (make ~rule ~severity:Error ~file ~line ~col message)
+          | "advice" -> Some (make ~rule ~severity:Advice ~file ~line ~col message)
+          | _ -> None)
+        | _ -> None)

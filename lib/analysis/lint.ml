@@ -1,12 +1,23 @@
 (* Driver for dumbnet-lint: file discovery, parsing (compiler-libs),
-   aggregation, the waiver budget, and report rendering. The library is
-   deliberately standalone — nothing under lib/ besides this directory
-   links compiler-libs, so the fabric binaries stay lean. *)
+   the two analysis passes, aggregation, the waiver budget, and report
+   rendering. The library is deliberately standalone — nothing under
+   lib/ besides this directory links compiler-libs, so the fabric
+   binaries stay lean.
+
+   Pass 1 walks each unit once for the syntactic rules (R1–R7, Rules)
+   and once for the per-function summaries (Summary). Pass 2 links the
+   summaries into a cross-module call graph (Callgraph) and evaluates
+   the interprocedural rules R8–R10 (Interproc). Waiver hygiene (W1)
+   runs only after both passes, because the interprocedural rules
+   credit hits to waivers the syntactic walk registered. *)
 
 type report = {
   diagnostics : Diagnostic.t list; (* sorted by file/line/col *)
   waivers : Rules.waiver list;
   files_scanned : int;
+  callgraph : Callgraph.t;
+  inferred_hot : (string, unit) Hashtbl.t; (* R9 closure, for the dumps *)
+  inferred_hot_count : int; (* unannotated functions in the closure *)
 }
 
 let read_file path =
@@ -20,57 +31,57 @@ let parse_source ~file source =
   Lexing.set_filename lexbuf file;
   Parse.implementation lexbuf
 
+let parse_diag ~file exn =
+  let line, col, msg =
+    match Location.error_of_exn exn with
+    | Some (`Ok err) ->
+      let loc = err.Location.main.Location.loc in
+      ( loc.Location.loc_start.Lexing.pos_lnum,
+        loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol,
+        Format.asprintf "%a" Location.print_report err )
+    | Some `Already_displayed | None -> (1, 0, Printexc.to_string exn)
+  in
+  Diagnostic.make ~rule:"parse" ~severity:Diagnostic.Error ~file ~line ~col
+    (Printf.sprintf "cannot parse: %s" (String.trim msg))
+
 (* Lint one compilation unit given as a string; [file] is the
-   repo-relative path used for rule scoping and diagnostics. *)
+   repo-relative path used for rule scoping and diagnostics. Syntactic
+   pass only — the interprocedural rules need every unit at once (see
+   [lint_sources]). *)
 let lint_source ?config ~file source =
   match parse_source ~file source with
-  | structure -> Rules.lint_structure ?config ~file structure
-  | exception exn ->
-    let line, col, msg =
-      match Location.error_of_exn exn with
-      | Some (`Ok err) ->
-        let loc = err.Location.main.Location.loc in
-        ( loc.Location.loc_start.Lexing.pos_lnum,
-          loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol,
-          Format.asprintf "%a" Location.print_report err )
-      | Some `Already_displayed | None -> (1, 0, Printexc.to_string exn)
-    in
-    ( [
-        Diagnostic.make ~rule:"parse" ~severity:Diagnostic.Error ~file ~line ~col
-          (Printf.sprintf "cannot parse: %s" (String.trim msg));
-      ],
-      [] )
+  | structure ->
+    let diags, waivers = Rules.lint_structure ?config ~file structure in
+    (diags @ Rules.unused_waiver_diags waivers, waivers)
+  | exception exn -> ([ parse_diag ~file exn ], [])
 
-let is_ml name = Filename.check_suffix name ".ml"
-
-let rec collect_ml_files root rel acc =
-  let abs = if rel = "" then root else Filename.concat root rel in
-  match Sys.is_directory abs with
-  | exception Sys_error _ -> acc
-  | false -> if is_ml rel then rel :: acc else acc
-  | true ->
-    let entries = Sys.readdir abs in
-    Array.sort String.compare entries;
-    Array.fold_left
-      (fun acc entry ->
-        if entry = "" || entry.[0] = '.' || entry = "_build" || entry = "lint_fixtures"
-        then acc
-        else
-          let child = if rel = "" then entry else rel ^ "/" ^ entry in
-          collect_ml_files root child acc)
-      acc entries
-
-(* Lint every .ml under [dirs] (repo-relative) below [root]. *)
-let scan ?(config = Rules.default_config) ~root ~dirs () =
-  let files =
-    List.concat_map (fun dir -> List.rev (collect_ml_files root dir [])) dirs
+(* The full two-pass pipeline over a set of units given as strings.
+   This is the engine behind [scan]; tests also call it directly to
+   exercise R8–R10 across hand-written fixture modules. *)
+let lint_sources ?(config = Rules.default_config) ?ratchet sources =
+  let parsed, parse_diags =
+    List.fold_left
+      (fun (ok, bad) (file, source) ->
+        match parse_source ~file source with
+        | structure -> ((file, structure) :: ok, bad)
+        | exception exn -> (ok, parse_diag ~file exn :: bad))
+      ([], []) sources
   in
+  let parsed = List.rev parsed in
   let diagnostics, waivers =
     List.fold_left
-      (fun (ds, ws) file ->
-        let d, w = lint_source ~config ~file (read_file (Filename.concat root file)) in
+      (fun (ds, ws) (file, structure) ->
+        let d, w = Rules.lint_structure ~config ~file structure in
         (d @ ds, w @ ws))
-      ([], []) files
+      (parse_diags, []) parsed
+  in
+  let summaries =
+    List.map (fun (file, structure) -> Summary.of_structure ~config ~file structure) parsed
+  in
+  let callgraph = Callgraph.build summaries in
+  let ip = Interproc.analyze ~config ?ratchet ~waivers callgraph in
+  let diagnostics =
+    ip.Interproc.ip_diags @ Rules.unused_waiver_diags waivers @ diagnostics
   in
   (* W2: the repo-wide waiver budget. Beyond it, stop waiving and start
      fixing — the cap is what keeps waivers an escape hatch, not a
@@ -91,8 +102,42 @@ let scan ?(config = Rules.default_config) ~root ~dirs () =
   {
     diagnostics = List.sort Diagnostic.compare_by_pos diagnostics;
     waivers;
-    files_scanned = List.length files;
+    files_scanned = List.length sources;
+    callgraph;
+    inferred_hot = ip.Interproc.ip_inferred_hot;
+    inferred_hot_count = ip.Interproc.ip_inferred_count;
   }
+
+let is_ml name = Filename.check_suffix name ".ml"
+
+let rec collect_ml_files root rel acc =
+  let abs = if rel = "" then root else Filename.concat root rel in
+  match Sys.is_directory abs with
+  | exception Sys_error _ -> acc
+  | false -> if is_ml rel then rel :: acc else acc
+  | true ->
+    let entries = Sys.readdir abs in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry = "_build" || entry = "lint_fixtures"
+        then acc
+        else
+          let child = if rel = "" then entry else rel ^ "/" ^ entry in
+          collect_ml_files root child acc)
+      acc entries
+
+(* Lint every .ml under [dirs] (repo-relative) below [root]. Overlapping
+   or repeated directory arguments are fine: the file list is
+   deduplicated, so a unit is never parsed, reported, or counted
+   against the waiver budget twice. *)
+let scan ?(config = Rules.default_config) ?ratchet ~root ~dirs () =
+  let files =
+    List.concat_map (fun dir -> List.rev (collect_ml_files root dir [])) dirs
+    |> List.sort_uniq String.compare
+  in
+  lint_sources ~config ?ratchet
+    (List.map (fun file -> (file, read_file (Filename.concat root file))) files)
 
 let errors report =
   List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) report.diagnostics
@@ -121,6 +166,35 @@ let find_root ?start () =
       if parent = dir then None else up parent (depth + 1)
   in
   up start 0
+
+(* The committed R9 ratchet: {"r9_inferred_hot": N} at the repo root.
+   Hand-rolled field scan, same policy as the JSON we emit — no
+   dependencies beyond compiler-libs. *)
+let ratchet_file = "lint_ratchet.json"
+
+let read_ratchet ~root =
+  let path = Filename.concat root ratchet_file in
+  if not (Sys.file_exists path) then None
+  else
+    let s = read_file path in
+    let key = "\"r9_inferred_hot\"" in
+    let klen = String.length key in
+    let n = String.length s in
+    let rec find i =
+      if i + klen > n then None
+      else if String.sub s i klen = key then
+        let rec digits j acc started =
+          if j < n && s.[j] >= '0' && s.[j] <= '9' then
+            digits (j + 1) ((acc * 10) + (Char.code s.[j] - Char.code '0')) true
+          else if started then Some acc
+          else if j < n && (s.[j] = ':' || s.[j] = ' ' || s.[j] = '\t') then
+            digits (j + 1) acc false
+          else None
+        in
+        digits (i + klen) 0 false
+      else find (i + 1)
+    in
+    find 0
 
 let render_text ppf report =
   List.iter (fun d -> Format.fprintf ppf "%a@." Diagnostic.pp d) report.diagnostics
@@ -152,6 +226,8 @@ let render_json report =
   Buffer.add_string buf (string_of_int (List.length (errors report)));
   Buffer.add_string buf ",\n  \"advice\": ";
   Buffer.add_string buf (string_of_int (List.length (advice report)));
+  Buffer.add_string buf ",\n  \"inferred_hot\": ";
+  Buffer.add_string buf (string_of_int report.inferred_hot_count);
   Buffer.add_string buf ",\n  \"diagnostics\": [";
   List.iteri
     (fun i d ->
@@ -174,3 +250,15 @@ let write_json report path =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (render_json report))
+
+(* --callgraph: DOT when the path ends in .dot, JSON otherwise. *)
+let write_callgraph report path =
+  let dump =
+    if Filename.check_suffix path ".dot" then
+      Callgraph.to_dot report.callgraph ~inferred_hot:report.inferred_hot
+    else Callgraph.to_json report.callgraph ~inferred_hot:report.inferred_hot
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc dump)

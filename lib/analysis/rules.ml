@@ -23,9 +23,10 @@
 open Parsetree
 
 type waiver_kind =
-  | Partial (* [@dumbnet.partial "reason"] — waives R1 R2 R3 R6 *)
+  | Partial (* [@dumbnet.partial "reason"] — waives R1 R2 R3 R6 R10 *)
   | Wire_const (* [@dumbnet.wire_const "reason"] — waives R5 *)
   | Domain_use (* [@dumbnet.domain "reason"] — waives R7 *)
+  | Shared (* [@dumbnet.shared "reason"] on a toplevel mutable binding — waives R8 *)
 
 type waiver = {
   w_kind : waiver_kind;
@@ -40,12 +41,14 @@ let waiver_kind_name = function
   | Partial -> "dumbnet.partial"
   | Wire_const -> "dumbnet.wire_const"
   | Domain_use -> "dumbnet.domain"
+  | Shared -> "dumbnet.shared"
 
 let waives kind rule =
   match kind with
-  | Partial -> List.mem rule [ "R1"; "R2"; "R3"; "R6" ]
+  | Partial -> List.mem rule [ "R1"; "R2"; "R3"; "R6"; "R10" ]
   | Wire_const -> rule = "R5"
   | Domain_use -> rule = "R7"
+  | Shared -> rule = "R8"
 
 type config = {
   hot_dirs : string list; (* R1 scope: directory prefixes *)
@@ -56,6 +59,11 @@ type config = {
   result_fn_suffixes : string list; (* R6: callee suffixes returning result *)
   domain_pool_files : string list; (* R7: the only files allowed raw domains *)
   max_waivers : int; (* W2: repo-wide waiver budget *)
+  (* interprocedural pass (R8–R10, see Interproc) *)
+  parallel_registrars : string list; (* R8: Pool entry points taking callbacks *)
+  parallel_roots : string list; (* R8: fn ids that run on worker domains *)
+  guarded_fns : string list; (* R8: single-writer guarded entry points *)
+  hot_roots : string list; (* R9: fn ids hotness propagates from *)
 }
 
 let default_config =
@@ -68,6 +76,26 @@ let default_config =
     result_fn_suffixes = [ "_result" ];
     domain_pool_files = [ "lib/util/pool.ml" ];
     max_waivers = 5;
+    parallel_registrars = [ "run_chunks"; "parallel_map"; "parallel_iter" ];
+    parallel_roots = [ "Sharded.drain" ];
+    guarded_fns =
+      [
+        (* Topo_store entry points that raise while [in_batch] is set:
+           calling them from a worker is loud, not racy (DESIGN.md §9). *)
+        "Topo_store.apply_event";
+        "Topo_store.record_discovered_link";
+        "Topo_store.invalidate_dist_cache";
+        "Topo_store.distances";
+        "Topo_store.serve_path_graphs";
+      ];
+    hot_roots =
+      [
+        "Dataplane.handle";
+        "Sharded.run";
+        "Engine.run";
+        "Frame.to_bytes";
+        "Frame.of_bytes";
+      ];
   }
 
 (* (module, function) pairs that raise instead of returning an option.
@@ -204,6 +232,7 @@ let waiver_of_attr ctx (attr : attribute) =
     | "dumbnet.partial" -> Some Partial
     | "dumbnet.wire_const" -> Some Wire_const
     | "dumbnet.domain" -> Some Domain_use
+    | "dumbnet.shared" -> Some Shared
     | _ -> None
   in
   match kind with
@@ -530,16 +559,21 @@ let lint_structure ?(config = default_config) ~file structure =
   in
   let it = make_iterator ctx in
   it.Ast_iterator.structure it structure;
-  (* W1: a waiver that suppressed nothing is dead weight — and deleting
-     a live one must flip the gate, so unused ones cannot linger. *)
-  List.iter
+  (List.rev ctx.diags, ctx.waivers)
+
+(* W1: a waiver that suppressed nothing is dead weight — and deleting a
+   live one must flip the gate, so unused ones cannot linger. Run this
+   only after *every* pass that can consume a waiver: the syntactic walk
+   above, and the interprocedural pass (R8/R10), which credits hits to
+   [Shared] waivers and to [Partial] waivers covering callbacks. *)
+let unused_waiver_diags waivers =
+  List.filter_map
     (fun w ->
       if w.w_hits = 0 then
-        ctx.diags <-
-          Diagnostic.make ~rule:"W1" ~severity:Diagnostic.Error ~file:w.w_file
-            ~line:w.w_line ~col:w.w_col
-            (Printf.sprintf "unused waiver [@%s]: it suppresses no finding; delete it"
-               (waiver_kind_name w.w_kind))
-          :: ctx.diags)
-    ctx.waivers;
-  (List.rev ctx.diags, ctx.waivers)
+        Some
+          (Diagnostic.make ~rule:"W1" ~severity:Diagnostic.Error ~file:w.w_file
+             ~line:w.w_line ~col:w.w_col
+             (Printf.sprintf "unused waiver [@%s]: it suppresses no finding; delete it"
+                (waiver_kind_name w.w_kind)))
+      else None)
+    waivers

@@ -237,11 +237,14 @@ let schedule_flush t =
     if not t.flush_scheduled then begin
       t.flush_scheduled <- true;
       let engine = Dumbnet_sim.Network.engine (Agent.network t.agent) in
-      Dumbnet_sim.Engine.schedule_at engine
-        ~at_ns:(Dumbnet_sim.Engine.now engine + delay)
-        (fun () ->
-          t.flush_scheduled <- false;
-          flush_patch t)
+      (Dumbnet_sim.Engine.schedule_at engine
+         ~at_ns:(Dumbnet_sim.Engine.now engine + delay)
+         (fun () ->
+           t.flush_scheduled <- false;
+           flush_patch t)
+      [@dumbnet.partial
+        "flush_patch reaches Pool.run_chunks, whose only raise rethrows an \
+         exception from its own callback; the batched serve callbacks are total"])
     end
 
 (* A port-up on a cable the store has never seen: rediscover it with
@@ -358,16 +361,19 @@ let create ?(replicas = 3) ?(s = 2) ?(eps = 1) ?(jobs = 1)
       let start = max (Engine.now engine) t.busy_until_ns in
       let finish = start + t.query_service_ns in
       t.busy_until_ns <- finish;
-      Engine.schedule_at engine ~at_ns:finish (fun () ->
-          match serve t ~src:requester ~dst:target with
-          | Some pg ->
-            (* The requester will cache this graph, so it joins the
-               repair ledger: a failure crossing it re-pushes it. *)
-            if requester <> self then record_push t ~src:requester ~dst:target pg;
-            ignore
-              (Agent.send_payload agent ~dst:requester
-                 (Payload.Path_response (Pathgraph.to_wire pg)))
-          | None -> ()));
+      (Engine.schedule_at engine ~at_ns:finish (fun () ->
+           match serve t ~src:requester ~dst:target with
+           | Some pg ->
+             (* The requester will cache this graph, so it joins the
+                repair ledger: a failure crossing it re-pushes it. *)
+             if requester <> self then record_push t ~src:requester ~dst:target pg;
+             ignore
+               (Agent.send_payload agent ~dst:requester
+                  (Payload.Path_response (Pathgraph.to_wire pg)))
+           | None -> ())
+      [@dumbnet.partial
+        "serve reaches Pool.run_chunks, whose only raise rethrows an exception \
+         from its own callback; the path-graph serve callbacks are total"]));
   Agent.set_event_hook agent (fun event -> on_event t event);
   t
 

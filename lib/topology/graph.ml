@@ -132,7 +132,7 @@ let host_ids t = sorted_keys t.hosts
 let ports_of t sw =
   match Hashtbl.find_opt t.switches sw with
   | Some s -> Array.length s.ports - 1
-  | None -> raise Not_found
+  | None -> invalid_arg (Printf.sprintf "Graph.ports_of: unknown switch %d" sw)
 
 let endpoint_of_plug = function
   | To_switch le -> Switch le.sw

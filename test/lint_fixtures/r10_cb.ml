@@ -1,0 +1,9 @@
+(* Fixture: R10 — an engine callback whose raise arrives only through
+   its callees. The syntactic R3 sees no raise here at all; the
+   interprocedural pass must flag [armed] and accept [guarded]. *)
+
+let armed engine = Engine.schedule_at engine ~at_ns:0 (fun () -> R10_mid.step ())
+
+let guarded engine =
+  Engine.schedule_at engine ~at_ns:0 (fun () ->
+      try R10_mid.step () with Failure _ -> ())

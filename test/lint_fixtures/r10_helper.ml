@@ -1,0 +1,4 @@
+(* Fixture: R10 — the raising leaf, two modules away from the engine
+   callback that eventually reaches it. *)
+
+let boom () = failwith "r10 fixture helper"

@@ -1,0 +1,4 @@
+(* Fixture: R10 — the relay between the engine callback and the raising
+   helper. Contains no raise of its own; the escape is inherited. *)
+
+let step () = R10_helper.boom ()

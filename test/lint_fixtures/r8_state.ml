@@ -1,0 +1,17 @@
+(* Fixture: R8 state module — one unguarded toplevel ref (a race when a
+   worker reaches it), one Atomic slot (always safe), one waived ref. *)
+
+let total = ref 0
+
+let processed = Atomic.make 0
+
+let[@dumbnet.shared "fixture: test-only tally, torn updates acceptable"] debug_count =
+  ref 0
+
+let bump_total n = total := n
+
+let read_total () = !total
+
+let bump_processed () = Atomic.incr processed
+
+let bump_debug () = incr debug_count

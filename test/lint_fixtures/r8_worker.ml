@@ -1,0 +1,17 @@
+(* Fixture: R8 worker module — a Pool.run_chunks callback reaching the
+   R8_state slots only transitively, through a helper in this module.
+   The unguarded ref is a race; the Atomic and the waived ref are not. *)
+
+let record n =
+  R8_state.bump_total n;
+  R8_state.bump_processed ();
+  R8_state.bump_debug ()
+
+let audit () = R8_state.read_total ()
+
+let run pool input =
+  Pool.run_chunks pool ~n:(Array.length input) (fun ~worker:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        record input.(i)
+      done;
+      audit ())

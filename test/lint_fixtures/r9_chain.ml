@@ -1,0 +1,10 @@
+(* Fixture: R9 — hotness propagates from the [@dumbnet.hot] root down
+   the call chain; [cold] is unreachable from it and stays unflagged. *)
+
+let leaf x = x * 2
+
+let mid x = leaf (x + 1)
+
+let[@dumbnet.hot] dispatch x = mid x
+
+let cold x = x - 1

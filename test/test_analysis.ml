@@ -37,11 +37,29 @@ let lint_fixture ?(config = fixture_config) ?file name =
   Lint.lint_source ~config ~file
     (read_file (Filename.concat (Lazy.force fixture_dir) name))
 
+(* The interprocedural rules need several units linked together: feed a
+   whole fixture set through the two-pass pipeline. *)
+let lint_fixture_set ?(config = fixture_config) ?ratchet names =
+  Lint.lint_sources ~config ?ratchet
+    (List.map
+       (fun name ->
+         ( Filename.concat "lint_fixtures" name,
+           read_file (Filename.concat (Lazy.force fixture_dir) name) ))
+       names)
+
 let count rule diags =
   List.length (List.filter (fun d -> d.Diagnostic.rule = rule) diags)
 
+let by_rule rule diags = List.filter (fun d -> d.Diagnostic.rule = rule) diags
+
 let errors diags =
   List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) diags
+
+let contains hay needle =
+  let n = String.length needle in
+  let h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
 
 (* --- R1 --- *)
 
@@ -155,12 +173,138 @@ let test_r7_waiver () =
   | [ w ] -> check Alcotest.int "domain waiver used" 1 w.Rules.w_hits
   | ws -> Alcotest.failf "expected exactly one waiver, got %d" (List.length ws)
 
+(* --- R8 --- *)
+
+let r8_set = [ "r8_state.ml"; "r8_worker.ml" ]
+
+let test_r8_transitive_race () =
+  let report = lint_fixture_set r8_set in
+  let r8 = by_rule "R8" report.Lint.diagnostics in
+  (* the := write and the ! read of the unguarded ref, nothing else *)
+  check Alcotest.int "write and read of the unguarded ref flagged" 2 (List.length r8);
+  List.iter
+    (fun d ->
+      check Alcotest.string "anchored at the access site" "lint_fixtures/r8_state.ml"
+        d.Diagnostic.file;
+      check Alcotest.bool "names the racing slot" true
+        (contains d.Diagnostic.message "R8_state.total");
+      check Alcotest.bool "witness shows the worker path" true
+        (contains d.Diagnostic.message "R8_worker.run"))
+    r8
+
+let test_r8_atomic_and_waived_clean () =
+  let report = lint_fixture_set r8_set in
+  List.iter
+    (fun d ->
+      check Alcotest.bool "Atomic slot never flagged" false
+        (contains d.Diagnostic.message "R8_state.processed");
+      check Alcotest.bool "shared-waived slot never flagged" false
+        (contains d.Diagnostic.message "R8_state.debug_count"))
+    (by_rule "R8" report.Lint.diagnostics);
+  match
+    List.filter (fun (w : Rules.waiver) -> w.Rules.w_kind = Rules.Shared)
+      report.Lint.waivers
+  with
+  | [ w ] -> check Alcotest.int "shared waiver absorbed the hit" 1 w.Rules.w_hits
+  | ws -> Alcotest.failf "expected exactly one shared waiver, got %d" (List.length ws)
+
+(* --- R9 (interprocedural) --- *)
+
+let test_r9_inference () =
+  let report = lint_fixture_set [ "r9_chain.ml" ] in
+  let r9 = by_rule "R9" report.Lint.diagnostics in
+  check Alcotest.int "mid and leaf inferred hot" 2 (List.length r9);
+  check Alcotest.int "inference is advice, not error" 0 (List.length (errors r9));
+  check Alcotest.int "count surfaced in the report" 2 report.Lint.inferred_hot_count;
+  List.iter
+    (fun d ->
+      check Alcotest.bool "cold stays cold" false
+        (contains d.Diagnostic.message "R9_chain.cold");
+      check Alcotest.bool "the annotated root is not re-flagged" false
+        (contains d.Diagnostic.message "R9_chain.dispatch is"))
+    r9
+
+let test_r9_ratchet_boundary () =
+  let ratchet_diags ratchet =
+    let report = lint_fixture_set ~ratchet [ "r9_chain.ml" ] in
+    List.filter
+      (fun d -> d.Diagnostic.file = "lint_ratchet.json")
+      report.Lint.diagnostics
+  in
+  (* exactly at the committed count: silence *)
+  check Alcotest.int "at the ratchet: no finding" 0 (List.length (ratchet_diags 2));
+  (* above the count: the ratchet is slack, advise lowering it *)
+  (match ratchet_diags 3 with
+  | [ d ] ->
+    check Alcotest.bool "slack is advice" true (d.Diagnostic.severity = Diagnostic.Advice)
+  | ds -> Alcotest.failf "expected one slack advisory, got %d" (List.length ds));
+  (* below the count: new inferred-hot functions appeared — error *)
+  match ratchet_diags 1 with
+  | [ d ] ->
+    check Alcotest.bool "exceeded ratchet is an error" true
+      (d.Diagnostic.severity = Diagnostic.Error)
+  | ds -> Alcotest.failf "expected one ratchet error, got %d" (List.length ds)
+
+(* --- R10 (interprocedural) --- *)
+
+let test_r10_transitive_raise () =
+  let report = lint_fixture_set [ "r10_helper.ml"; "r10_mid.ml"; "r10_cb.ml" ] in
+  check Alcotest.int "no syntactic R3 finding anywhere" 0
+    (count "R3" report.Lint.diagnostics);
+  match by_rule "R10" report.Lint.diagnostics with
+  | [ d ] ->
+    check Alcotest.string "the unguarded callback is flagged" "lint_fixtures/r10_cb.ml"
+      d.Diagnostic.file;
+    check Alcotest.bool "witness chain reaches the raising leaf" true
+      (contains d.Diagnostic.message "R10_mid.step");
+    check Alcotest.bool "names the raiser" true (contains d.Diagnostic.message "failwith")
+  | ds ->
+    Alcotest.failf "expected exactly one R10 finding (guarded must stay clean), got %d"
+      (List.length ds)
+
 (* --- W1 --- *)
 
 let test_w1_waiver_hygiene () =
   let diags, waivers = lint_fixture "w1_unused.ml" in
   check Alcotest.int "unused waiver and missing reason" 2 (count "W1" diags);
   check Alcotest.int "both waivers reported" 2 (List.length waivers)
+
+(* --- the diagnostic JSON schema --- *)
+
+let test_diag_json_roundtrip () =
+  let cases =
+    [
+      Diagnostic.make ~rule:"R8" ~severity:Diagnostic.Error ~file:"lib/sim/engine.ml"
+        ~line:42 ~col:7 "plain ascii message";
+      Diagnostic.make ~rule:"R9" ~severity:Diagnostic.Advice ~file:"lib/a \"b\"\\c.ml"
+        ~line:1 ~col:0 "quotes \"here\", a\ttab, a\nnewline and a backslash \\";
+      Diagnostic.make ~rule:"W2" ~severity:Diagnostic.Error ~file:"lint_ratchet.json"
+        ~line:1 ~col:0 "control char \x01 survives";
+    ]
+  in
+  List.iter
+    (fun d ->
+      match Diagnostic.of_json (Diagnostic.to_json d) with
+      | Some d' ->
+        check Alcotest.bool
+          (Printf.sprintf "%s round-trips" d.Diagnostic.rule)
+          true (d = d')
+      | None -> Alcotest.failf "of_json rejected its own to_json for %s" d.Diagnostic.rule)
+    cases
+
+let test_diag_json_rejects_malformed () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool (Printf.sprintf "rejects %S" s) true
+        (Diagnostic.of_json s = None))
+    [
+      "";
+      "{";
+      "not json at all";
+      {|{"file":"a.ml","line":1,"col":0,"rule":"R1","severity":"fatal","message":"m"}|};
+      {|{"file":"a.ml","line":1,"col":0,"rule":"R1","severity":"error"}|};
+      {|{"file":"a.ml","line":"one","col":0,"rule":"R1","severity":"error","message":"m"}|};
+    ]
 
 (* --- parse failures --- *)
 
@@ -175,8 +319,14 @@ let test_parse_error_is_a_finding () =
 (* --- the repo gate --- *)
 
 let test_repo_gate_clean () =
-  let report = Lint.scan ~root:(repo_root ()) ~dirs:[ "lib"; "bin"; "bench" ] () in
+  let root = repo_root () in
+  let ratchet = Lint.read_ratchet ~root in
+  check Alcotest.bool "R9 ratchet is committed" true (ratchet <> None);
+  let report =
+    Lint.scan ?ratchet ~root ~dirs:[ "lib"; "bin"; "bench"; "examples" ] ()
+  in
   check Alcotest.bool "scanned a real tree" true (report.Lint.files_scanned > 20);
+  check Alcotest.bool "hot paths inferred" true (report.Lint.inferred_hot_count > 0);
   (match Lint.errors report with
   | [] -> ()
   | d :: _ ->
@@ -212,6 +362,48 @@ let test_waiver_budget_enforced () =
   check Alcotest.bool "repo has waivers to cap" true (List.length report.Lint.waivers > 0);
   check Alcotest.int "every waiver beyond the budget errors" (List.length report.Lint.waivers) w2
 
+let test_waiver_budget_boundary () =
+  (* Three used waivers: a budget of exactly three is silent, a budget
+     of two errors on precisely the one waiver past the line. *)
+  let names = [ "r1_waived.ml"; "r5_waived.ml"; "r7_waived.ml" ] in
+  let at = lint_fixture_set ~config:{ fixture_config with Rules.max_waivers = 3 } names in
+  check Alcotest.int "three waivers seen" 3 (List.length at.Lint.waivers);
+  check Alcotest.int "at the budget: no W2" 0 (count "W2" at.Lint.diagnostics);
+  check Alcotest.int "at the budget: no errors at all" 0
+    (List.length (errors at.Lint.diagnostics));
+  let over =
+    lint_fixture_set ~config:{ fixture_config with Rules.max_waivers = 2 } names
+  in
+  check Alcotest.int "one past the budget: one W2" 1 (count "W2" over.Lint.diagnostics)
+
+let test_scan_dedups_dirs () =
+  (* Overlapping and repeated directory arguments must not double-count
+     files, findings, or waivers. *)
+  let root = repo_root () in
+  let once = Lint.scan ~root ~dirs:[ "lib" ] () in
+  let dup = Lint.scan ~root ~dirs:[ "lib"; "lib/analysis"; "lib"; "lib/topology" ] () in
+  check Alcotest.int "same files" once.Lint.files_scanned dup.Lint.files_scanned;
+  check Alcotest.int "same findings"
+    (List.length once.Lint.diagnostics)
+    (List.length dup.Lint.diagnostics);
+  check Alcotest.int "same waivers"
+    (List.length once.Lint.waivers)
+    (List.length dup.Lint.waivers)
+
+let test_read_ratchet () =
+  let dir = Filename.temp_file "dumbnet_lint" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  check
+    (Alcotest.option Alcotest.int)
+    "absent file reads as None" None (Lint.read_ratchet ~root:dir);
+  let oc = open_out (Filename.concat dir Lint.ratchet_file) in
+  output_string oc "{\n  \"r9_inferred_hot\": 42\n}\n";
+  close_out oc;
+  check
+    (Alcotest.option Alcotest.int)
+    "committed count read back" (Some 42) (Lint.read_ratchet ~root:dir)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -241,7 +433,26 @@ let () =
           Alcotest.test_case "pool module exempt" `Quick test_r7_pool_module_exempt;
           Alcotest.test_case "domain waiver" `Quick test_r7_waiver;
         ] );
+      ( "r8",
+        [
+          Alcotest.test_case "transitive race flagged" `Quick test_r8_transitive_race;
+          Alcotest.test_case "atomic and waived state clean" `Quick
+            test_r8_atomic_and_waived_clean;
+        ] );
+      ( "r9",
+        [
+          Alcotest.test_case "hotness propagates" `Quick test_r9_inference;
+          Alcotest.test_case "ratchet boundary" `Quick test_r9_ratchet_boundary;
+        ] );
+      ( "r10",
+        [ Alcotest.test_case "transitive raise flagged" `Quick test_r10_transitive_raise ]
+      );
       ("w1", [ Alcotest.test_case "waiver hygiene" `Quick test_w1_waiver_hygiene ]);
+      ( "json",
+        [
+          Alcotest.test_case "diagnostic round-trips" `Quick test_diag_json_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick test_diag_json_rejects_malformed;
+        ] );
       ( "parse",
         [ Alcotest.test_case "parse error is a finding" `Quick test_parse_error_is_a_finding ]
       );
@@ -250,5 +461,8 @@ let () =
           Alcotest.test_case "repo lints clean" `Quick test_repo_gate_clean;
           Alcotest.test_case "ratchet catches regressions" `Quick test_repo_gate_ratchet;
           Alcotest.test_case "waiver budget enforced" `Quick test_waiver_budget_enforced;
+          Alcotest.test_case "waiver budget boundary" `Quick test_waiver_budget_boundary;
+          Alcotest.test_case "scan dedups directories" `Quick test_scan_dedups_dirs;
+          Alcotest.test_case "ratchet file read back" `Quick test_read_ratchet;
         ] );
     ]
