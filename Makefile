@@ -1,4 +1,4 @@
-.PHONY: all build test check lint callgraph fmt bench bench-perf bench-sim bench-survivability perf-table perf-splice diagnose clean
+.PHONY: all build test check lint callgraph fmt bench bench-perf bench-sim bench-scale bench-survivability perf-table perf-splice scale-table scale-splice diagnose clean
 
 all: build
 
@@ -60,6 +60,25 @@ perf-splice:
 	awk 'BEGIN { while ((getline line < "BENCH_PERF.md") > 0) tbl = tbl line "\n" } \
 	     /<!-- perf-table:begin -->/ { print; printf "%s", tbl; skip = 1; next } \
 	     /<!-- perf-table:end -->/ { skip = 0 } \
+	     !skip { print }' README.md > README.md.tmp && mv README.md.tmp README.md
+
+# Mega-fabric scaling curve of the pod-partitioned controller; writes
+# BENCH_SCALE.json + BENCH_SCALE.md. Full curve reaches fat-tree k=48
+# and jellyfish-1024; QUICK=1 runs the small points with the regression
+# gate armed (what CI's smoke job does).
+QUICK ?=
+bench-scale:
+	dune exec bench/main.exe -- scale $(if $(QUICK),--quick)
+
+# Regenerate the scale table and splice the generated BENCH_SCALE.md
+# between the scale-table markers in README.md — same contract as
+# perf-table.
+scale-table: bench-scale scale-splice
+
+scale-splice:
+	awk 'BEGIN { while ((getline line < "BENCH_SCALE.md") > 0) tbl = tbl line "\n" } \
+	     /<!-- scale-table:begin -->/ { print; printf "%s", tbl; skip = 1; next } \
+	     /<!-- scale-table:end -->/ { skip = 0 } \
 	     !skip { print }' README.md > README.md.tmp && mv README.md.tmp README.md
 
 # Failure waves + hidden-fault localization; writes

@@ -20,6 +20,9 @@ let experiments =
     ("ablations", "design-choice ablations (cache, two-stage, TE, prior)", E.Ablations.run);
     ("telemetry", "in-band telemetry: accuracy, gray failures, TE", E.Telemetry_exp.run);
     ("perf", "hot-path and failure-repair microbenchmarks, writes BENCH_PERF.json", E.Perf.run);
+    ( "scale",
+      "mega-fabric curve: sharded controller to k=48 / jellyfish-1024, writes BENCH_SCALE.json",
+      E.Scale.run );
     ( "survivability",
       "failure waves + hidden-fault localization, writes BENCH_SURVIVABILITY.json",
       E.Survivability.run );
@@ -49,6 +52,7 @@ let () =
     | "--quick" :: rest ->
       E.Perf.quick := true;
       E.Survivability.quick := true;
+      E.Scale.quick := true;
       strip_flags rest
     | "--jobs" :: n :: rest when int_of_string_opt n <> None ->
       E.Perf.jobs_override := int_of_string_opt n;

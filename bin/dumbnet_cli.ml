@@ -35,6 +35,10 @@ let build_topology spec seed =
            ~rng:(Dumbnet.Util.Rng.create seed)
            ~switches ~degree ~hosts_per_switch:1 ())
     | _ -> Error "random wants switches:degree")
+  | [ "jellyfish"; sw ] -> (
+    match int_of_string_opt sw with
+    | Some switches -> Ok (Builder.jellyfish ~switches ())
+    | None -> Error "jellyfish wants an integer switch count")
   | [ "linear"; n ] -> (
     match int_of_string_opt n with
     | Some n -> Ok (Builder.linear ~n ())
@@ -46,7 +50,7 @@ let build_topology spec seed =
   | _ ->
     Error
       "unknown topology; try figure1, testbed, leaf-spine:S:L:H, fat-tree:K, cube:N, \
-       random:N:D, linear:N, star:L"
+       random:N:D, jellyfish:N, linear:N, star:L"
 
 let topo_conv =
   let parse s = Ok s in
@@ -55,7 +59,7 @@ let topo_conv =
 let topo_arg =
   let doc =
     "Topology: figure1 | testbed | leaf-spine:S:L:H | fat-tree:K | cube:N | random:N:D | \
-     linear:N."
+     jellyfish:N | linear:N."
   in
   Arg.(value & opt topo_conv "testbed" & info [ "t"; "topology" ] ~docv:"TOPO" ~doc)
 
@@ -102,6 +106,70 @@ let topo_cmd =
   Cmd.v
     (Cmd.info "topo" ~doc:"Build a topology and print its structure.")
     Term.(const topo_run $ topo_arg $ seed_arg)
+
+(* --- partition subcommand --- *)
+
+let partition_run spec seed shards pairs =
+  with_topology spec seed (fun built ->
+      let g = built.Builder.graph in
+      let module Shard = Dumbnet.Control.Shard in
+      let sharded = Shard.create ~shards g in
+      let part = Shard.partition sharded in
+      Printf.printf "switches: %d  cables: %d  shards: %d\n" (Graph.num_switches g)
+        (List.length (Graph.switch_links g))
+        part.Partition.shards;
+      Printf.printf "cut: %d cables (%.1f%% of fabric)\n"
+        (List.length part.Partition.cut)
+        (100. *. Partition.cut_fraction part g);
+      (* Exercise the stitching layer over a pair sample so the
+         ownership report shows live numbers, not an empty controller. *)
+      let rng = Dumbnet.Util.Rng.create seed in
+      let hosts = Array.of_list built.Builder.hosts in
+      let n = Array.length hosts in
+      let served = ref 0 in
+      let attempts = max 1 pairs in
+      for _ = 1 to attempts do
+        let src = hosts.(Dumbnet.Util.Rng.int rng n) in
+        let dst = hosts.(Dumbnet.Util.Rng.int rng n) in
+        if src <> dst then
+          match Shard.serve_path_graph sharded ~src ~dst with
+          | Some pg ->
+            Shard.record_push sharded pg;
+            incr served
+          | None -> ()
+      done;
+      let roots = Shard.dist_cache_roots sharded in
+      Printf.printf "%-6s %9s %15s\n" "shard" "switches" "distance tables";
+      Array.iteri
+        (fun w size -> Printf.printf "%-6d %9d %15d\n" w size roots.(w))
+        part.Partition.sizes;
+      let stats = Shard.stitch_stats sharded in
+      Printf.printf
+        "served %d path graphs over %d queries: %d stitched across regions (%d local / %d \
+         cross distance fetches)\n"
+        !served stats.Shard.served_pairs stats.Shard.stitched_pairs stats.Shard.local_fetches
+        stats.Shard.cross_fetches;
+      Format.printf "%a@." Dumbnet.Topology.Tag_arena.pp (Shard.arena sharded);
+      0)
+
+let partition_shards_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"N" ~doc:"Number of controller regions to partition into.")
+
+let partition_pairs_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "pairs" ] ~docv:"N"
+        ~doc:"Host-pair queries to push through the stitching layer for the report.")
+
+let partition_cmd =
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:
+         "Partition a fabric into controller regions and report shard ownership, cut \
+          cables, and path-stitching statistics.")
+    Term.(const partition_run $ topo_arg $ seed_arg $ partition_shards_arg $ partition_pairs_arg)
 
 (* --- discover subcommand --- *)
 
@@ -602,6 +670,7 @@ let diagnose_cmd =
 let bench_run quick jobs names =
   Dumbnet_experiments.Perf.quick := quick;
   Dumbnet_experiments.Survivability.quick := quick;
+  Dumbnet_experiments.Scale.quick := quick;
   Dumbnet_experiments.Perf.jobs_override := jobs;
   let experiments =
     [
@@ -619,6 +688,7 @@ let bench_run quick jobs names =
       ("ablations", Dumbnet_experiments.Ablations.run);
       ("telemetry", Dumbnet_experiments.Telemetry_exp.run);
       ("perf", Dumbnet_experiments.Perf.run);
+      ("scale", Dumbnet_experiments.Scale.run);
       ("survivability", Dumbnet_experiments.Survivability.run);
     ]
   in
@@ -669,6 +739,7 @@ let () =
        (Cmd.group info
           [
             topo_cmd;
+            partition_cmd;
             discover_cmd;
             simulate_cmd;
             hops_cmd;

@@ -1,0 +1,241 @@
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type stitch_stats = {
+  served_pairs : int;
+  stitched_pairs : int;
+  local_fetches : int;
+  cross_fetches : int;
+}
+
+type t = {
+  part : Partition.t;
+  (* One store per region. Every store applies every event (all hold
+     the same fabric view); ownership partitions the derived state:
+     shard [w]'s store is only ever asked [distances ~from:s] for
+     switches [s] with [part.of_switch.(s) = w], so its memoized-table
+     population — and the repair work an event causes — is w's region
+     and nothing else. *)
+  stores : Topo_store.t array;
+  s : int;
+  eps : int;
+  (* Compact push ledger, shared across shards: pair -> interned form.
+     The per-cable subscription index is per-shard, keyed by the cable's
+     owning region. *)
+  arena : Tag_arena.t;
+  pushed : (host_id * host_id, Pathgraph.compact) Hashtbl.t;
+  subs : (Link_key.t, (host_id * host_id, unit) Hashtbl.t) Hashtbl.t array;
+  mutable served_pairs : int;
+  mutable stitched_pairs : int;
+  mutable local_fetches : int;
+  mutable cross_fetches : int;
+  mutable subs_consulted : int;
+}
+
+let create ?(shards = 4) ?eager_repair ?(s = 2) ?(eps = 1) g =
+  let part = Partition.compute g ~shards in
+  {
+    part;
+    stores = Array.init part.Partition.shards (fun _ -> Topo_store.create ?eager_repair g);
+    s;
+    eps;
+    arena = Tag_arena.create ();
+    pushed = Hashtbl.create 256;
+    subs = Array.init part.Partition.shards (fun _ -> Hashtbl.create 64);
+    served_pairs = 0;
+    stitched_pairs = 0;
+    local_fetches = 0;
+    cross_fetches = 0;
+    subs_consulted = 0;
+  }
+
+let shards t = t.part.Partition.shards
+
+let partition t = t.part
+
+let shard_of_switch t sw = t.part.Partition.of_switch.(sw)
+
+let shard_of_host t h = Partition.shard_of_host t.part (Topo_store.graph t.stores.(0)) h
+
+(* --- event intake: every shard, same event, same outcome --- *)
+
+let apply_event t ev =
+  let outcome = Topo_store.apply_event t.stores.(0) ev in
+  for w = 1 to Array.length t.stores - 1 do
+    ignore (Topo_store.apply_event t.stores.(w) ev)
+  done;
+  outcome
+
+let record_discovered_link t a b =
+  Array.iter (fun store -> Topo_store.record_discovered_link store a b) t.stores
+
+let take_patch t =
+  let patch = Topo_store.take_patch t.stores.(0) in
+  for w = 1 to Array.length t.stores - 1 do
+    ignore (Topo_store.take_patch t.stores.(w))
+  done;
+  patch
+
+(* --- the stitching layer --- *)
+
+(* The hot lookup of a serve: route a distance-table fetch to the
+   owning shard's store. Identical tables to an unsharded store — BFS
+   distances are a pure function of the (synchronized) graph — so the
+   stitched result is byte-identical to the unsharded serve. *)
+let[@dumbnet.hot] owner_distances t ~from =
+  Topo_store.distances t.stores.(t.part.Partition.of_switch.(from)) ~from
+
+let serve_path_graph t ~src ~dst =
+  let home =
+    match shard_of_host t src with
+    | Some w -> w
+    | None -> 0
+  in
+  let crossed = ref false in
+  let dist ~from =
+    let owner = t.part.Partition.of_switch.(from) in
+    if owner = home then t.local_fetches <- t.local_fetches + 1
+    else begin
+      t.cross_fetches <- t.cross_fetches + 1;
+      crossed := true
+    end;
+    owner_distances t ~from
+  in
+  let result =
+    Pathgraph.generate ~s:t.s ~eps:t.eps ~dist (Topo_store.graph t.stores.(home)) ~src ~dst
+  in
+  t.served_pairs <- t.served_pairs + 1;
+  if !crossed then t.stitched_pairs <- t.stitched_pairs + 1;
+  result
+
+let serve_path_graphs t pairs =
+  Array.map (fun (src, dst) -> serve_path_graph t ~src ~dst) pairs
+
+let stitch_stats t =
+  {
+    served_pairs = t.served_pairs;
+    stitched_pairs = t.stitched_pairs;
+    local_fetches = t.local_fetches;
+    cross_fetches = t.cross_fetches;
+  }
+
+(* --- compact push ledger --- *)
+
+(* A cable's subscriptions live with the region of its canonical first
+   end — deterministic, and on a fat tree intra-pod cables (the vast
+   majority) land in the pod that owns both ends. *)
+let owner_of_key t key = t.part.Partition.of_switch.((fst (Link_key.ends key)).sw)
+
+let unsubscribe t pair =
+  match Hashtbl.find_opt t.pushed pair with
+  | None -> ()
+  | Some compact ->
+    List.iter
+      (fun key ->
+        let subs = t.subs.(owner_of_key t key) in
+        match Hashtbl.find_opt subs key with
+        | None -> ()
+        | Some pairs ->
+          Hashtbl.remove pairs pair;
+          if Hashtbl.length pairs = 0 then Hashtbl.remove subs key)
+      (Pathgraph.compact_links compact);
+    Hashtbl.remove t.pushed pair
+
+let record_push t pg =
+  let pair = (Pathgraph.src pg, Pathgraph.dst pg) in
+  unsubscribe t pair;
+  let compact = Pathgraph.to_compact t.arena pg in
+  Hashtbl.replace t.pushed pair compact;
+  List.iter
+    (fun key ->
+      let subs = t.subs.(owner_of_key t key) in
+      let pairs =
+        match Hashtbl.find_opt subs key with
+        | Some p -> p
+        | None ->
+          let p = Hashtbl.create 8 in
+          Hashtbl.replace subs key p;
+          p
+      in
+      Hashtbl.replace pairs pair ())
+    (Pathgraph.compact_links compact)
+
+let cached_pairs t = Hashtbl.length t.pushed
+
+let cached_graph t ~src ~dst =
+  Option.map (Pathgraph.of_compact t.arena) (Hashtbl.find_opt t.pushed (src, dst))
+
+let affected_pairs t changes =
+  let hit = Hashtbl.create 32 in
+  let consulted = Array.make (Array.length t.subs) false in
+  let add_key w key =
+    consulted.(w) <- true;
+    match Hashtbl.find_opt t.subs.(w) key with
+    | None -> ()
+    | Some pairs -> Hashtbl.iter (fun pair () -> Hashtbl.replace hit pair ()) pairs
+  in
+  List.iter
+    (fun change ->
+      match change with
+      | Payload.Link_failed (a, b) ->
+        let key = Link_key.make a b in
+        add_key (owner_of_key t key) key
+      | Payload.Switch_removed sw ->
+        (* A removed switch can have cables owned by its own and by
+           neighboring regions: every index is scanned, like the
+           unsharded controller scans its single one. *)
+        Array.iteri
+          (fun w subs ->
+            consulted.(w) <- true;
+            let doomed =
+              Hashtbl.fold
+                (fun key _ acc ->
+                  let a, b = Link_key.ends key in
+                  if a.sw = sw || b.sw = sw then key :: acc else acc)
+                subs []
+            in
+            List.iter (add_key w) doomed)
+          t.subs
+      | Payload.Link_restored _ | Payload.Link_discovered _ -> ())
+    changes;
+  t.subs_consulted <-
+    t.subs_consulted + Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 consulted;
+  List.sort compare (Hashtbl.fold (fun pair () acc -> pair :: acc) hit [])
+
+let subs_shards_consulted t = t.subs_consulted
+
+(* --- accounting --- *)
+
+let arena t = t.arena
+
+let ledger_words t = Obj.reachable_words (Obj.repr (t.pushed, t.arena))
+
+let dist_cache_roots t = Array.map Topo_store.cached_roots t.stores
+
+let repair_stats t =
+  Array.fold_left
+    (fun (acc : Topo_store.repair_stats) store ->
+      let s = Topo_store.repair_stats store in
+      {
+        Topo_store.repair_events = acc.repair_events + s.Topo_store.repair_events;
+        evicted_roots = acc.evicted_roots + s.evicted_roots;
+        retained_roots = acc.retained_roots + s.retained_roots;
+        eager_repairs = acc.eager_repairs + s.eager_repairs;
+        full_resets = acc.full_resets + s.full_resets;
+      })
+    {
+      Topo_store.repair_events = 0;
+      evicted_roots = 0;
+      retained_roots = 0;
+      eager_repairs = 0;
+      full_resets = 0;
+    }
+    t.stores
+
+let pp ppf t =
+  Format.fprintf ppf
+    "sharded controller: %d shards, %d cached pairs, %a; served %d (%d stitched, %d/%d \
+     local/cross fetches)"
+    (shards t) (cached_pairs t) Tag_arena.pp t.arena t.served_pairs t.stitched_pairs
+    t.local_fetches t.cross_fetches

@@ -1,0 +1,131 @@
+(** Pod-partitioned controller: per-region shards plus a path-stitching
+    layer (the scale-out refactor of §4.2/§4.3).
+
+    A single {!Topo_store} owns every switch's memoized BFS table and
+    one global push-ledger subscription index — fine for a testbed,
+    quadratic trouble at mega-fabric scale where a failure in one pod
+    evicts tables and scans subscriptions fabric-wide. This module
+    splits the controller by region instead:
+
+    - {!Partition.compute} carves the wiring into [shards] balanced,
+      connected regions (pods, on a fat tree);
+    - each shard owns the distance tables of {e its} switches — its own
+      {!Topo_store} is only ever asked [distances ~from:s] for switches
+      [s] it owns, so an event's cache-repair work stays inside the
+      regions the event touches;
+    - each shard owns the push-ledger subscriptions of the cables whose
+      canonical first end lands in its region, so a failed cable scans
+      one region's index, not the fabric's;
+    - a thin stitching layer composes cross-region path graphs: a query
+      whose Algorithm-1 window crosses a region boundary fetches the
+      foreign roots' tables from their owning shards ({!stitch_stats}
+      counts local vs stitched fetches).
+
+    Served path graphs are byte-identical to an unsharded {!Topo_store}
+    on the same event history — BFS tables are a pure function of the
+    graph, wherever they are memoized — and the pushed ledger stores
+    them in {!Pathgraph.compact} form with tag stacks interned into one
+    shared {!Tag_arena}. *)
+
+open Dumbnet_topology
+open Types
+open Dumbnet_packet
+
+type t
+
+val create : ?shards:int -> ?eager_repair:bool -> ?s:int -> ?eps:int -> Graph.t -> t
+(** [shards] (default 4) is clamped like {!Partition.compute}; [s],
+    [eps] are the path-graph parameters used for every serve (defaults
+    2 and 1, matching {!Topo_store.serve_path_graph}); [eager_repair]
+    is passed to every shard's store. Takes its own graph copies. *)
+
+val shards : t -> int
+
+val partition : t -> Partition.t
+
+val shard_of_switch : t -> switch_id -> int
+
+val shard_of_host : t -> host_id -> int option
+(** The shard owning the host's access switch, [None] if detached. *)
+
+(** {1 Event intake}
+
+    Every shard applies every event, so all region stores hold the same
+    fabric view; ownership partitions the {e derived} state (distance
+    tables, subscriptions), not the graph. Outcomes are identical
+    across shards — the canonical one is returned. *)
+
+val apply_event : t -> Payload.link_event -> Topo_store.outcome
+
+val record_discovered_link : t -> link_end -> link_end -> unit
+
+val take_patch : t -> Payload.t option
+(** Drains every shard's pending deltas; returns shard 0's patch as the
+    canonical one (all shards see the same events, so the patches carry
+    the same changes). *)
+
+(** {1 Path service (the stitching layer)} *)
+
+val serve_path_graph : t -> src:host_id -> dst:host_id -> Pathgraph.t option
+(** Serve one query. Distance lookups route to the owning shard's
+    store; the result is byte-identical to an unsharded
+    {!Topo_store.serve_path_graph} with the same [s]/[eps]. *)
+
+val serve_path_graphs : t -> (host_id * host_id) array -> Pathgraph.t option array
+(** Serve a batch, index-aligned; defined as the sequential composition
+    of {!serve_path_graph}. *)
+
+(** Cumulative counters of the stitching layer. *)
+type stitch_stats = {
+  served_pairs : int;
+  stitched_pairs : int;  (** served pairs that needed >= 1 foreign-shard fetch *)
+  local_fetches : int;  (** distance tables answered by the pair's home shard *)
+  cross_fetches : int;  (** distance tables stitched in from another shard *)
+}
+
+val stitch_stats : t -> stitch_stats
+
+(** {1 Compact push ledger} *)
+
+val record_push : t -> Pathgraph.t -> unit
+(** Remember that this graph is what its (src, dst) pair currently
+    holds: intern its tag stacks into the shared arena, store the
+    compact form, and subscribe the pair to each covered cable in the
+    cable's owning shard. *)
+
+val unsubscribe : t -> host_id * host_id -> unit
+
+val cached_pairs : t -> int
+
+val cached_graph : t -> src:host_id -> dst:host_id -> Pathgraph.t option
+(** Rebuilt from the compact form (fresh value, same wire form as the
+    graph that was pushed). *)
+
+val affected_pairs : t -> Payload.change list -> (host_id * host_id) list
+(** Pairs whose cached graph the deltas invalidate, sorted. Same
+    contract as the unsharded controller ledger: failed cables hit
+    their subscribers, removed switches hit every subscriber of their
+    cables, restores and discoveries hit no one. A failed cable
+    consults only its owning shard's index. *)
+
+val subs_shards_consulted : t -> int
+(** Cumulative count of per-shard subscription indexes consulted by
+    {!affected_pairs} — the repair-scoping numerator (an unsharded
+    controller always scans its single fabric-wide index). *)
+
+(** {1 Memory and repair accounting} *)
+
+val arena : t -> Tag_arena.t
+
+val ledger_words : t -> int
+(** Heap words reachable from the compact ledger plus the shared arena
+    — the bench's bytes/(src,dst)-pair numerator. *)
+
+val dist_cache_roots : t -> int array
+(** Memoized BFS roots per shard; summed, this matches what a single
+    store would hold for the same query history. *)
+
+val repair_stats : t -> Topo_store.repair_stats
+(** Field-wise sum over the shards' stores. *)
+
+val pp : Format.formatter -> t -> unit

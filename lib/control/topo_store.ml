@@ -88,7 +88,7 @@ let in_batch t = t.in_batch
 (* The guard every mutator runs: mutating the graph or the shared
    distance cache while worker domains are reading them would corrupt
    answers silently, so it is a programming error, loudly. *)
-let assert_not_in_batch t what =
+let[@dumbnet.hot] assert_not_in_batch t what =
   if t.in_batch then
     invalid_arg (Printf.sprintf "Topo_store.%s: a path-graph batch is in flight" what)
 
@@ -97,7 +97,7 @@ let assert_not_in_batch t what =
 (* Record [from]'s freshly computed table in the cache and in the
    reverse index: every cable that is tight for it (|d a - d b| = 1,
    both ends reachable) can invalidate it later; no other cable can. *)
-let register_root t from d =
+let[@dumbnet.hot] register_root t from d =
   let snap = Graph.adjacency t.g in
   let keys = ref [] in
   for i = 0 to Adjacency.num_switches snap - 1 do
@@ -124,7 +124,7 @@ let register_root t from d =
   done;
   Hashtbl.replace t.root_links from !keys
 
-let insert_table t from d =
+let[@dumbnet.hot] insert_table t from d =
   Hashtbl.replace t.dist_cache from d;
   register_root t from d
 
@@ -155,7 +155,7 @@ let evict_root t from =
     t.eager_repairs <- t.eager_repairs + 1
   end
 
-let reset_cache t =
+let[@dumbnet.hot] reset_cache t =
   Hashtbl.reset t.dist_cache;
   Hashtbl.reset t.link_users;
   Hashtbl.reset t.root_links;
@@ -166,7 +166,7 @@ let reset_cache t =
    generation move that did not pass through the scoped-repair paths
    (which advance [dist_gen] themselves) is an out-of-band graph
    mutation: scoped repair has no event to scope to, drop everything. *)
-let sync_generation t =
+let[@dumbnet.hot] sync_generation t =
   if Graph.generation t.g <> t.dist_gen then begin
     if Hashtbl.length t.dist_cache > 0 then t.full_resets <- t.full_resets + 1;
     reset_cache t
@@ -207,7 +207,7 @@ let invalidate_dist_cache t =
   if Hashtbl.length t.dist_cache > 0 then t.full_resets <- t.full_resets + 1;
   reset_cache t
 
-let distances t ~from =
+let[@dumbnet.hot] distances t ~from =
   assert_not_in_batch t "distances";
   sync_generation t;
   match Hashtbl.find_opt t.dist_cache from with

@@ -16,13 +16,13 @@ let wire_size = Constants.int_stamp_wire_size
 
 let link_end t = { sw = t.switch; port = t.port }
 
-let write w t =
+let[@dumbnet.hot] write w t =
   W.u32 w (Int32.of_int t.switch);
   W.u8 w t.port;
   W.u32 w (Int32.of_int (min t.queue_depth 0xFFFFFFF));
   W.int w t.timestamp_ns
 
-let read r =
+let[@dumbnet.hot] read r =
   let switch = Int32.to_int (R.u32 r) land 0xFFFFFFFF in
   let port = R.u8 r in
   if port < 1 || port > max_port then raise Wire.Truncated;

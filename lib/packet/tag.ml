@@ -10,12 +10,12 @@ let forward port =
   if port < 1 || port > max_port then invalid_arg "Tag.forward: port out of range";
   Forward port
 
-let to_byte = function
+let[@dumbnet.hot] to_byte = function
   | Forward p -> Char.chr p
   | Id_query -> Char.chr Constants.tag_id_query
   | End_of_path -> Char.chr Constants.tag_end_of_path
 
-let of_byte c =
+let[@dumbnet.hot] of_byte c =
   let b = Char.code c in
   if b = Constants.tag_id_query then Id_query
   else if b = Constants.tag_end_of_path then End_of_path
@@ -28,7 +28,7 @@ let pp ppf = function
   | Id_query -> Format.fprintf ppf "id?"
   | End_of_path -> Format.fprintf ppf "ø"
 
-let of_ports ports = List.map forward ports @ [ End_of_path ]
+let[@dumbnet.hot] of_ports ports = List.map forward ports @ [ End_of_path ]
 
 let to_ports tags =
   let rec go acc = function

@@ -20,7 +20,7 @@ let tx_latency_ns = function
   | Dpdk_mpls -> 560_000
   | Dumbnet_agent -> 562_000 (* + find-path/lookup, Table 2 scale *)
 
-let rx_latency_ns = function
+let[@dumbnet.hot] rx_latency_ns = function
   | Native -> 15_000
   | Dpdk_noop -> 550_000
   | Dpdk_mpls -> 555_000
@@ -29,7 +29,7 @@ let rx_latency_ns = function
 (* Per-stamp cost of walking the telemetry region on receive: one
    fixed-width record copy each, cheap next to the stack traversal. The
    kernel stack pays a little more per touch than the DPDK pipelines. *)
-let int_parse_ns = function
+let[@dumbnet.hot] int_parse_ns = function
   | Native -> 40
   | Dpdk_noop | Dpdk_mpls | Dumbnet_agent -> 25
 

@@ -11,17 +11,17 @@ type t = {
   nbr : (port * switch_id * port) list array; (* prebuilt, port order *)
 }
 
-let generation t = t.generation
+let[@dumbnet.hot] generation t = t.generation
 
-let num_switches t = Array.length t.ids
+let[@dumbnet.hot] num_switches t = Array.length t.ids
 
 let num_edges t = t.row.(Array.length t.ids)
 
 let index_of t sw = Hashtbl.find_opt t.index sw
 
-let id_of t i = t.ids.(i)
+let[@dumbnet.hot] id_of t i = t.ids.(i)
 
-let build ~generation per_switch =
+let[@dumbnet.hot] build ~generation per_switch =
   let n = List.length per_switch in
   let ids = Array.make n 0 in
   let index = Hashtbl.create ((2 * n) + 1) in
@@ -67,7 +67,7 @@ let degree t sw =
   | Some i -> t.row.(i + 1) - t.row.(i)
   | None -> 0
 
-let iter_neighbors t sw f =
+let[@dumbnet.hot] iter_neighbors t sw f =
   match Hashtbl.find_opt t.index sw with
   | None -> ()
   | Some i ->

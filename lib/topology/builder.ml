@@ -292,6 +292,9 @@ let star ?(hosts_per_leaf = 1) ~leaves () =
   let hosts = List.rev !hosts in
   { graph = g; hosts; controller = first_host hosts }
 
+let jellyfish ?(seed = 23) ?(degree = 6) ?(hosts_per_switch = 1) ~switches () =
+  random_regular ~rng:(Rng.create seed) ~switches ~degree ~hosts_per_switch ()
+
 let linear ~n () =
   if n < 1 then invalid_arg "Builder.linear: n must be >= 1";
   let g = Graph.create () in

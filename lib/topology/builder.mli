@@ -49,6 +49,12 @@ val random_regular :
     but may leave a few ports free), plus [hosts_per_switch] hosts.
     Guaranteed connected (re-drawn until it is). *)
 
+val jellyfish : ?seed:int -> ?degree:int -> ?hosts_per_switch:int -> switches:int -> unit -> built
+(** The canonical jellyfish configuration every bench point and CLI
+    spec shares: {!random_regular} with [degree] 6, [hosts_per_switch]
+    1 and a fixed [seed] (default 23), so "jellyfish-N" means the same
+    wiring in `bench perf`, `bench scale` and the CLI. *)
+
 val linear : n:int -> unit -> built
 (** A chain of [n] switches, one host each — worst-case diameter. *)
 

@@ -29,9 +29,9 @@ let create () =
     adj_cache = None;
   }
 
-let generation t = t.generation
+let[@dumbnet.hot] generation t = t.generation
 
-let wiring_generation t = t.wiring_generation
+let[@dumbnet.hot] wiring_generation t = t.wiring_generation
 
 let touch t =
   t.generation <- t.generation + 1;
@@ -67,12 +67,12 @@ let add_host_with_id t ~id =
   Hashtbl.replace t.hosts id (ref None);
   t.next_host <- max t.next_host (id + 1)
 
-let switch_exn t sw =
+let[@dumbnet.hot] switch_exn t sw =
   match Hashtbl.find_opt t.switches sw with
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "Graph: unknown switch %d" sw)
 
-let slot_in_range s port = port >= 1 && port < Array.length s.ports
+let[@dumbnet.hot] slot_in_range s port = port >= 1 && port < Array.length s.ports
 
 let check_free t le =
   let s = switch_exn t le.sw in
@@ -102,7 +102,7 @@ let attach_host t h le =
   loc := Some le;
   touch_wiring t
 
-let slot_at t le =
+let[@dumbnet.hot] slot_at t le =
   match Hashtbl.find_opt t.switches le.sw with
   | None -> None
   | Some s -> if slot_in_range s le.port then s.ports.(le.port) else None
@@ -123,24 +123,24 @@ let num_switches t = Hashtbl.length t.switches
 
 let num_hosts t = Hashtbl.length t.hosts
 
-let sorted_keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+let[@dumbnet.hot] sorted_keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
 
-let switch_ids t = sorted_keys t.switches
+let[@dumbnet.hot] switch_ids t = sorted_keys t.switches
 
 let host_ids t = sorted_keys t.hosts
 
-let ports_of t sw =
+let[@dumbnet.hot] ports_of t sw =
   match Hashtbl.find_opt t.switches sw with
   | Some s -> Array.length s.ports - 1
   | None -> invalid_arg (Printf.sprintf "Graph.ports_of: unknown switch %d" sw)
 
-let endpoint_of_plug = function
+let[@dumbnet.hot] endpoint_of_plug = function
   | To_switch le -> Switch le.sw
   | To_host h -> Host h
 
-let endpoint_at t le = Option.map (fun slot -> endpoint_of_plug slot.plug) (slot_at t le)
+let[@dumbnet.hot] endpoint_at t le = Option.map (fun slot -> endpoint_of_plug slot.plug) (slot_at t le)
 
-let peer_port t le =
+let[@dumbnet.hot] peer_port t le =
   match slot_at t le with
   | Some { plug = To_switch other; _ } -> Some other
   | Some { plug = To_host _; _ } | None -> None
@@ -150,7 +150,7 @@ let host_location t h =
   | Some r -> !r
   | None -> None
 
-let fold_slots t sw f init =
+let[@dumbnet.hot] fold_slots t sw f init =
   let s = switch_exn t sw in
   let acc = ref init in
   for port = 1 to Array.length s.ports - 1 do
@@ -175,7 +175,7 @@ let neighbors t sw =
     []
   |> List.rev
 
-let switch_neighbors t sw =
+let[@dumbnet.hot] switch_neighbors t sw =
   fold_slots t sw
     (fun acc port slot ->
       match slot.plug with
@@ -280,7 +280,7 @@ let equal a b =
 
 (* The CSR snapshot is the one adjacency the routing layer iterates; it
    is rebuilt lazily, at most once per graph mutation. *)
-let adjacency t =
+let[@dumbnet.hot] adjacency t =
   match t.adj_cache with
   | Some a when Adjacency.generation a = t.generation -> a
   | Some _ | None ->

@@ -41,42 +41,107 @@ let cable_adjacency g =
    one and every shard is non-empty. *)
 let target_size n shards w = (((w + 1) * n) / shards) - ((w * n) / shards)
 
-let grow_regions n shards (off, nbr) =
+(* One BFS from [src] over the cable adjacency, folded into [dist] as a
+   pointwise minimum — the farthest-point seeding below keeps [dist] as
+   "hops to the nearest already-chosen seed". *)
+let bfs_min_into (off, nbr) n src dist =
+  let d = Array.make n (-1) in
+  let q = Queue.create () in
+  d.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    for i = off.(s) to off.(s + 1) - 1 do
+      let m = nbr.(i) in
+      if d.(m) < 0 then begin
+        d.(m) <- d.(s) + 1;
+        Queue.add m q
+      end
+    done
+  done;
+  for s = 0 to n - 1 do
+    if d.(s) >= 0 && (dist.(s) < 0 || d.(s) < dist.(s)) then dist.(s) <- d.(s)
+  done
+
+(* Bubble growth (Diekmann-style): plant [shards] seeds spread as far
+   apart as possible, then grow every region {e simultaneously} in
+   round-robin turns, each turn taking the unassigned switch with the
+   most cables into the region (ties: fewest cables leaving it, then
+   the smallest id). Simultaneous growth is what recovers fat-tree pods
+   — with one region grown at a time, the finished region's cores leak
+   gain into the next pod's aggregation layer and steal it; with all
+   regions claiming their densest neighborhoods in parallel, each pod
+   is consumed by the seed planted inside it. A candidate of gain 0 is
+   a fresh seed — that is also how disconnected components get
+   covered. *)
+let grow_regions n shards ((off, nbr) as adj) =
+  let deg s = off.(s + 1) - off.(s) in
+  (* Seed 0: the lowest-degree switch (periphery — an edge switch on a
+     fat tree, ties to the smallest id); seed [w]: the switch farthest
+     from every earlier seed (same tie-breaks). *)
+  let dist = Array.make n (-1) in
+  let seed = Array.make shards 0 in
+  let s0 = ref 0 and best = ref max_int in
+  for s = n - 1 downto 0 do
+    if deg s <= !best then begin
+      s0 := s;
+      best := deg s
+    end
+  done;
+  seed.(0) <- !s0;
+  bfs_min_into adj n !s0 dist;
   let assign = Array.make n (-1) in
-  (* gain.(s) = cabled neighbors of [s] already inside the region being
-     grown; reset between regions via the [stamp] epoch. *)
-  let gain = Array.make n 0 in
-  let stamp = Array.make n (-1) in
-  for w = 0 to shards - 1 do
-    let want = target_size n shards w in
-    let grown = ref 0 in
-    while !grown < want do
-      (* Pick the unassigned switch with the most edges into the region
-         (ties to the smallest id); a fresh seed when the frontier is
-         empty — also what starts each region and re-seeds across
-         disconnected components. *)
-      let best = ref (-1) and best_gain = ref (-1) in
-      for s = n - 1 downto 0 do
-        if assign.(s) < 0 then begin
-          let gs = if stamp.(s) = w then gain.(s) else 0 in
-          if gs >= !best_gain then begin
-            best := s;
-            best_gain := gs
+  assign.(!s0) <- 0;
+  for w = 1 to shards - 1 do
+    let sw = ref (-1) and bd = ref min_int and bext = ref max_int in
+    for s = n - 1 downto 0 do
+      if assign.(s) < 0 && (dist.(s) > !bd || (dist.(s) = !bd && deg s <= !bext)) then begin
+        sw := s;
+        bd := dist.(s);
+        bext := deg s
+      end
+    done;
+    seed.(w) <- !sw;
+    assign.(!sw) <- w;
+    bfs_min_into adj n !sw dist
+  done;
+  (* gain.(s * shards + w) = cables from [s] into region [w] so far. *)
+  let gain = Array.make (n * shards) 0 in
+  let grown = Array.make shards 0 in
+  let bump s w =
+    for i = off.(s) to off.(s + 1) - 1 do
+      let m = nbr.(i) in
+      if assign.(m) < 0 then
+        gain.((m * shards) + w) <- gain.((m * shards) + w) + 1
+    done
+  in
+  Array.iteri
+    (fun w s ->
+      grown.(w) <- 1;
+      bump s w)
+    seed;
+  let placed = ref shards in
+  while !placed < n do
+    for w = 0 to shards - 1 do
+      if grown.(w) < target_size n shards w && !placed < n then begin
+        let best = ref (-1) and best_gain = ref (-1) and best_ext = ref max_int in
+        for s = n - 1 downto 0 do
+          if assign.(s) < 0 then begin
+            let gs = gain.((s * shards) + w) in
+            let ext = deg s - gs in
+            if gs > !best_gain || (gs = !best_gain && ext <= !best_ext) then begin
+              best := s;
+              best_gain := gs;
+              best_ext := ext
+            end
           end
-        end
-      done;
-      let s = !best in
-      assign.(s) <- w;
-      incr grown;
-      for i = off.(s) to off.(s + 1) - 1 do
-        let m = nbr.(i) in
-        if assign.(m) < 0 then
-          if stamp.(m) = w then gain.(m) <- gain.(m) + 1
-          else begin
-            stamp.(m) <- w;
-            gain.(m) <- 1
-          end
-      done
+        done;
+        let s = !best in
+        assign.(s) <- w;
+        grown.(w) <- grown.(w) + 1;
+        incr placed;
+        bump s w
+      end
     done
   done;
   assign

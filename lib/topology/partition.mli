@@ -1,12 +1,17 @@
 (** Topology partitioner for the sharded discrete-event engine.
 
     Splits the switches of a fabric into [shards] balanced, connected
-    regions with few cut cables — pods fall out naturally on fat trees
-    (the greedy growth follows the dense intra-pod wiring), and on
-    jellyfish-style random graphs the refinement pass approximates a
-    METIS-style greedy min-cut. The partition is a pure function of the
-    wiring (link up/down state is ignored), so failure churn never
-    re-partitions a running simulation.
+    regions with few cut cables: seeds are planted as far apart as
+    possible (farthest-point BFS), every region grows {e simultaneously}
+    around its seed in round-robin turns (bubble growth), and a greedy
+    refinement pass then approximates a METIS-style min-cut. On fat
+    trees pods are recovered whole — each seed lands in a distinct pod
+    and consumes it before any other region's frontier arrives — which
+    is what lets the sharded controller own pods outright; on
+    jellyfish-style random graphs the same growth is a plain min-cut
+    heuristic. The partition is a pure function of the wiring (link
+    up/down state is ignored), so failure churn never re-partitions a
+    running simulation.
 
     Everything is deterministic: same graph, same [shards], same
     partition — the sharded engine's determinism contract starts here. *)

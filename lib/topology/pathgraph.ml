@@ -327,6 +327,106 @@ let of_wire w =
     links = links_of_adj adj;
   }
 
+type compact = {
+  c_src : host_id;
+  c_dst : host_id;
+  c_src_sw : switch_id;
+  c_src_port : port;
+  c_dst_sw : switch_id;
+  c_dst_port : port;
+  c_primary_sw : int array;
+  c_primary_tags : Tag_arena.handle;
+  c_backup_sw : int array;  (* [||] when there is no backup path *)
+  c_backup_tags : Tag_arena.handle;  (* -1 when there is no backup path *)
+  c_edges : int array;  (* a.sw, a.port, b.sw, b.port per cable, canonical order *)
+}
+
+let compact_src c = c.c_src
+
+let compact_dst c = c.c_dst
+
+let compact_switch_count c =
+  (* Endpoint switches always appear; every other stored switch carries
+     at least one edge. Count distinct ids over edges + endpoints. *)
+  let seen = Hashtbl.create 32 in
+  Hashtbl.replace seen c.c_src_sw ();
+  Hashtbl.replace seen c.c_dst_sw ();
+  let quads = Array.length c.c_edges / 4 in
+  for i = 0 to quads - 1 do
+    Hashtbl.replace seen c.c_edges.((i * 4) + 0) ();
+    Hashtbl.replace seen c.c_edges.((i * 4) + 2) ()
+  done;
+  Hashtbl.length seen
+
+let compact_links c =
+  let quads = Array.length c.c_edges / 4 in
+  List.init quads (fun i ->
+      Link_key.make
+        { sw = c.c_edges.((i * 4) + 0); port = c.c_edges.((i * 4) + 1) }
+        { sw = c.c_edges.((i * 4) + 2); port = c.c_edges.((i * 4) + 3) })
+
+let to_compact arena t =
+  let w = to_wire t in
+  let path_arrays (p : Path.t) =
+    (Array.of_list (List.map fst p.Path.hops), Tag_arena.intern arena (Path.tags p))
+  in
+  let primary_sw, primary_tags = path_arrays w.w_primary in
+  let backup_sw, backup_tags =
+    match w.w_backup with
+    | None -> ([||], -1)
+    | Some p -> path_arrays p
+  in
+  let edges = Array.make (4 * List.length w.w_edges) 0 in
+  List.iteri
+    (fun i (a, b) ->
+      edges.((i * 4) + 0) <- a.sw;
+      edges.((i * 4) + 1) <- a.port;
+      edges.((i * 4) + 2) <- b.sw;
+      edges.((i * 4) + 3) <- b.port)
+    w.w_edges;
+  {
+    c_src = w.w_src;
+    c_dst = w.w_dst;
+    c_src_sw = w.w_src_loc.sw;
+    c_src_port = w.w_src_loc.port;
+    c_dst_sw = w.w_dst_loc.sw;
+    c_dst_port = w.w_dst_loc.port;
+    c_primary_sw = primary_sw;
+    c_primary_tags = primary_tags;
+    c_backup_sw = backup_sw;
+    c_backup_tags = backup_tags;
+    c_edges = edges;
+  }
+
+let of_compact arena c =
+  let path sws tags_h =
+    let tags = Tag_arena.get arena tags_h in
+    if List.length tags <> Array.length sws then
+      invalid_arg "Pathgraph.of_compact: tag stack length mismatch";
+    {
+      Path.src = c.c_src;
+      hops = List.map2 (fun sw tag -> (sw, tag)) (Array.to_list sws) tags;
+      dst = c.c_dst;
+    }
+  in
+  let quads = Array.length c.c_edges / 4 in
+  let edges =
+    List.init quads (fun i ->
+        ( { sw = c.c_edges.((i * 4) + 0); port = c.c_edges.((i * 4) + 1) },
+          { sw = c.c_edges.((i * 4) + 2); port = c.c_edges.((i * 4) + 3) } ))
+  in
+  of_wire
+    {
+      w_src = c.c_src;
+      w_dst = c.c_dst;
+      w_src_loc = { sw = c.c_src_sw; port = c.c_src_port };
+      w_dst_loc = { sw = c.c_dst_sw; port = c.c_dst_port };
+      w_primary = path c.c_primary_sw c.c_primary_tags;
+      w_backup =
+        (if c.c_backup_tags < 0 then None else Some (path c.c_backup_sw c.c_backup_tags));
+      w_edges = edges;
+    }
+
 let merge a b =
   if a.src <> b.src || a.dst <> b.dst then invalid_arg "Pathgraph.merge: different endpoints";
   let adj = Hashtbl.create 64 in

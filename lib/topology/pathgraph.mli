@@ -98,6 +98,37 @@ val to_wire : t -> wire
 
 val of_wire : wire -> t
 
+(** {1 Interned storage form}
+
+    What a controller shard's push ledger holds at mega-fabric scale:
+    endpoints and edges as flat int arrays, and the primary/backup tag
+    stacks replaced by {!Tag_arena} handles, so the dominant repeated
+    payload — the source-route stacks — is stored once per {e distinct}
+    stack fabric-wide instead of once per pair. Converting back through
+    the issuing arena is exact: [of_compact a (to_compact a t)] has the
+    same wire form as [t]. *)
+
+type compact
+
+val to_compact : Tag_arena.t -> t -> compact
+(** Interns the primary and backup tag stacks into the arena. *)
+
+val of_compact : Tag_arena.t -> compact -> t
+(** Rebuilds the full path graph. The arena must be the one that built
+    the compact (raises [Invalid_argument] on foreign handles). *)
+
+val compact_src : compact -> host_id
+
+val compact_dst : compact -> host_id
+
+val compact_switch_count : compact -> int
+(** Distinct switches in the stored subgraph (matches {!switch_count}
+    of the rebuilt graph). *)
+
+val compact_links : compact -> Link_key.t list
+(** The stored cable set, equal to {!links} of the rebuilt graph —
+    lets a ledger index compacts by link without rebuilding them. *)
+
 val merge : t -> t -> t
 (** Union of the two subgraphs; primary/backup are taken from the first.
     Requires equal (src, dst); raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,105 @@
+open Types
+
+type handle = int
+
+type t = {
+  (* Packed stacks, one byte per tag, back to back. [off]/[len] locate
+     handle [h] at [data[off.(h) .. off.(h) + len.(h) - 1]]. *)
+  mutable data : Bytes.t;
+  mutable used : int;
+  mutable off : int array;
+  mutable len : int array;
+  mutable count : int;
+  (* Hash-consing index: the packed bytes of a stack -> its handle. *)
+  index : (string, handle) Hashtbl.t;
+  mutable interns : int;
+}
+
+let create ?(initial_bytes = 256) () =
+  {
+    data = Bytes.create (max 1 initial_bytes);
+    used = 0;
+    off = Array.make 16 0;
+    len = Array.make 16 0;
+    count = 0;
+    index = Hashtbl.create 64;
+    interns = 0;
+  }
+
+let stacks t = t.count
+
+let bytes t = t.used
+
+let interns t = t.interns
+
+let ensure_data t extra =
+  let need = t.used + extra in
+  if need > Bytes.length t.data then begin
+    let cap = ref (Bytes.length t.data * 2) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let d = Bytes.create !cap in
+    Bytes.blit t.data 0 d 0 t.used;
+    t.data <- d
+  end
+
+let ensure_tables t =
+  if t.count = Array.length t.off then begin
+    let grow a =
+      let b = Array.make (Array.length a * 2) 0 in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    t.off <- grow t.off;
+    t.len <- grow t.len
+  end
+
+let intern t stack =
+  t.interns <- t.interns + 1;
+  let n = List.length stack in
+  let packed = Bytes.create n in
+  List.iteri
+    (fun i tag ->
+      if tag < 0 || tag > max_port then
+        invalid_arg (Printf.sprintf "Tag_arena.intern: tag %d outside 0..%d" tag max_port);
+      Bytes.unsafe_set packed i (Char.unsafe_chr tag))
+    stack;
+  let key = Bytes.unsafe_to_string packed in
+  match Hashtbl.find_opt t.index key with
+  | Some h -> h
+  | None ->
+    ensure_data t n;
+    ensure_tables t;
+    Bytes.blit packed 0 t.data t.used n;
+    let h = t.count in
+    t.off.(h) <- t.used;
+    t.len.(h) <- n;
+    t.used <- t.used + n;
+    t.count <- t.count + 1;
+    Hashtbl.replace t.index key h;
+    h
+
+let[@dumbnet.hot] check t h what =
+  if h < 0 || h >= t.count then
+    invalid_arg (Printf.sprintf "Tag_arena.%s: unknown handle %d" what h)
+
+let[@dumbnet.hot] length t h =
+  check t h "length";
+  t.len.(h)
+
+let[@dumbnet.hot] iter t h f =
+  check t h "iter";
+  let off = t.off.(h) in
+  for i = off to off + t.len.(h) - 1 do
+    f (Char.code (Bytes.get t.data i))
+  done
+
+let get t h =
+  check t h "get";
+  let off = t.off.(h) in
+  List.init t.len.(h) (fun i -> Char.code (Bytes.get t.data (off + i)))
+
+let pp ppf t =
+  Format.fprintf ppf "tag arena: %d stacks, %d bytes, %d interns (%d deduped)" t.count t.used
+    t.interns (t.interns - t.count)

@@ -78,7 +78,7 @@ let create ?jobs () =
   let domains = Array.map (fun slot -> Domain.spawn (fun () -> worker_loop slot)) slots in
   { size; slots; domains; alive = true }
 
-let jobs t = t.size
+let[@dumbnet.hot] jobs t = t.size
 
 let shutdown t =
   if t.alive then begin
@@ -99,9 +99,9 @@ let with_pool ?jobs f =
 
 (* Slice bounds of worker [w] over [n] items: contiguous, deterministic,
    and within one item of even — the shard-ownership contract. *)
-let bounds ~size ~n w = (w * n / size, (w + 1) * n / size)
+let[@dumbnet.hot] bounds ~size ~n w = (w * n / size, (w + 1) * n / size)
 
-let run_chunks t ~n body =
+let[@dumbnet.hot] run_chunks t ~n body =
   if not t.alive then invalid_arg "Pool.run_chunks: pool is shut down";
   if n < 0 then invalid_arg "Pool.run_chunks: negative size";
   if n > 0 then

@@ -5,16 +5,16 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 let create seed = { state = Int64.of_int seed }
 
 (* splitmix64 finalizer: xor-shift multiply mixing of the advanced state. *)
-let next_state t =
+let[@dumbnet.hot] next_state t =
   t.state <- Int64.add t.state golden_gamma;
   t.state
 
-let mix z =
+let[@dumbnet.hot] mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let int64 t = mix (next_state t)
+let[@dumbnet.hot] int64 t = mix (next_state t)
 
 let split t = { state = int64 t }
 
@@ -23,7 +23,7 @@ let int t bound =
   let v = Int64.to_int (int64 t) land max_int in
   v mod bound
 
-let float t bound =
+let[@dumbnet.hot] float t bound =
   let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
   bound *. (v /. 9007199254740992.0) (* 2^53 *)
 

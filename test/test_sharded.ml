@@ -75,6 +75,104 @@ let test_partition_trivial_and_clamped () =
   let big = Partition.compute g ~shards:(n * 3) in
   check Alcotest.int "clamped to switch count" n big.Partition.shards
 
+(* Pod of a non-core fat-tree switch, from the builder's id layout:
+   cores first, then all aggregation switches pod-major, then all edge
+   switches pod-major, k/2 of each per pod. *)
+let fat_tree_pod ~k sw =
+  let half = k / 2 in
+  let cores = half * half in
+  if sw < cores then None
+  else if sw < cores + (k * half) then Some ((sw - cores) / half)
+  else Some ((sw - cores - (k * half)) / half)
+
+(* The partitioner's fat-tree promise: pods are recovered whole. At
+   [shards = k] every region is exactly one pod plus its share of the
+   core layer; at [shards = 2] each half holds complete pods. Checked
+   at k = 16 — 320 switches, the smallest size where greedy one-at-a-
+   time growth is known to shred pods. *)
+let test_partition_recovers_pods_k16 () =
+  let k = 16 in
+  let built = Builder.fat_tree ~k () in
+  let g = built.Builder.graph in
+  let n = Graph.num_switches g in
+  List.iter
+    (fun shards ->
+      let part = Partition.compute g ~shards in
+      (* Every pod lands in exactly one region. *)
+      let pod_region = Hashtbl.create 16 in
+      let split = ref 0 in
+      Array.iteri
+        (fun sw w ->
+          match fat_tree_pod ~k sw with
+          | None -> ()
+          | Some pod -> (
+            match Hashtbl.find_opt pod_region pod with
+            | None -> Hashtbl.replace pod_region pod w
+            | Some w' -> if w <> w' then incr split))
+        part.Partition.of_switch;
+      check Alcotest.int (Printf.sprintf "shards=%d: no pod is split" shards) 0 !split;
+      (* Balance stays within one switch of the even split. *)
+      Array.iter
+        (fun size ->
+          check Alcotest.bool
+            (Printf.sprintf "shards=%d balanced (%d)" shards size)
+            true
+            (abs (size - (n / shards)) <= 1))
+        part.Partition.sizes;
+      (* Cut invariant: exactly the cables whose ends disagree. *)
+      let expected =
+        List.filter
+          (fun (key, _up) ->
+            let a, b = Link_key.ends key in
+            part.Partition.of_switch.(a.sw) <> part.Partition.of_switch.(b.sw))
+          (Graph.switch_links g)
+        |> List.map fst
+        |> List.sort Link_key.compare
+      in
+      check Alcotest.bool (Printf.sprintf "shards=%d cut exact" shards) true
+        (expected = part.Partition.cut))
+    [ 2; k ]
+
+(* On a jellyfish there are no pods to recover — the partitioner is a
+   plain min-cut heuristic — but coverage, balance, cut exactness and
+   a non-degenerate cut must still hold at realistic scale. *)
+let test_partition_jellyfish_256 () =
+  let built =
+    Builder.random_regular ~rng:(Rng.create 23) ~switches:256 ~degree:6 ~hosts_per_switch:1 ()
+  in
+  let g = built.Builder.graph in
+  let n = Graph.num_switches g in
+  List.iter
+    (fun shards ->
+      let part = Partition.compute g ~shards in
+      check Alcotest.int (Printf.sprintf "shards=%d sizes sum" shards) n
+        (Array.fold_left ( + ) 0 part.Partition.sizes);
+      Array.iter
+        (fun size ->
+          check Alcotest.bool
+            (Printf.sprintf "shards=%d balanced (%d)" shards size)
+            true
+            (abs (size - (n / shards)) <= 1))
+        part.Partition.sizes;
+      let expected =
+        List.filter
+          (fun (key, _up) ->
+            let a, b = Link_key.ends key in
+            part.Partition.of_switch.(a.sw) <> part.Partition.of_switch.(b.sw))
+          (Graph.switch_links g)
+        |> List.map fst
+        |> List.sort Link_key.compare
+      in
+      check Alcotest.bool (Printf.sprintf "shards=%d cut exact" shards) true
+        (expected = part.Partition.cut);
+      check Alcotest.bool
+        (Printf.sprintf "shards=%d cut below uniform-random" shards)
+        true
+        (* A random assignment cuts (1 - 1/shards) of the cables; the
+           bubble growth must do strictly better than 60% of that. *)
+        (Partition.cut_fraction part g < 0.6 *. (1.0 -. (1.0 /. float_of_int shards))))
+    [ 2; 4; 8 ]
+
 let test_partition_deterministic () =
   let built =
     Builder.random_regular ~rng:(Rng.create 5) ~switches:16 ~degree:4 ~hosts_per_switch:1 ()
@@ -366,6 +464,8 @@ let () =
           Alcotest.test_case "covers and balances" `Quick test_partition_covers_and_balances;
           Alcotest.test_case "cut is exact" `Quick test_partition_cut_is_exact;
           Alcotest.test_case "trivial and clamped" `Quick test_partition_trivial_and_clamped;
+          Alcotest.test_case "recovers pods at k=16" `Quick test_partition_recovers_pods_k16;
+          Alcotest.test_case "jellyfish-256" `Quick test_partition_jellyfish_256;
           Alcotest.test_case "deterministic" `Quick test_partition_deterministic;
         ] );
       ( "frame pool",
