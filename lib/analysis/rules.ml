@@ -92,9 +92,15 @@ let default_config =
       [
         "Dataplane.handle";
         "Sharded.run";
+        "Sharded.drain_wheel_chain";
+        "Sharded.chain_ok";
         "Engine.run";
         "Frame.to_bytes";
         "Frame.of_bytes";
+        "Frame.write";
+        "Wheel.push";
+        "Wheel.min_ready";
+        "Wheel.pop";
       ];
   }
 

@@ -16,6 +16,8 @@ type repush_stats = {
   repair_rounds : int;
   repushed_pairs : int;
   cached_pairs : int;
+  regen_s : float;
+  push_s : float;
 }
 
 type t = {
@@ -38,6 +40,13 @@ type t = {
   mutable patches : int;
   mutable repair_rounds : int;
   mutable repushed_pairs : int;
+  (* Wall seconds the delta re-push spent in each phase: [regen_s]
+     recomputing the affected path graphs (the batch, possibly pooled),
+     [push_s] re-recording subscriptions and emitting the response
+     frames. Separating them shows whether repair time is compute- or
+     dissemination-bound. *)
+  mutable regen_s : float;
+  mutable push_s : float;
   mutable flush_scheduled : bool;
   mutable busy_until_ns : int;
   mutable prober : Discovery.prober option;
@@ -111,6 +120,8 @@ let repush_stats t : repush_stats =
     repair_rounds = t.repair_rounds;
     repushed_pairs = t.repushed_pairs;
     cached_pairs = Hashtbl.length t.pushed;
+    regen_s = t.regen_s;
+    push_s = t.push_s;
   }
 
 (* Which pushed pairs a patch's deltas invalidate. A failed cable hits
@@ -199,7 +210,10 @@ let broadcast_patch t payload changes =
   | _ :: _ ->
     t.repair_rounds <- t.repair_rounds + 1;
     let queries = Array.of_list affected in
+    let t0 = Unix.gettimeofday () in
     let graphs = serve_batch t queries in
+    let t1 = Unix.gettimeofday () in
+    t.regen_s <- t.regen_s +. (t1 -. t0);
     Array.iteri
       (fun i (src, dst) ->
         match graphs.(i) with
@@ -214,7 +228,8 @@ let broadcast_patch t payload changes =
           (* Currently unroutable (partition): retire the subscription;
              the host re-queries once a restore patch arrives. *)
           unsubscribe t (src, dst))
-      queries
+      queries;
+    t.push_s <- t.push_s +. (Unix.gettimeofday () -. t1)
 
 let journal t changes =
   List.iter (fun change -> ignore (Replica.append t.replicas change)) changes
@@ -344,6 +359,8 @@ let create ?(replicas = 3) ?(s = 2) ?(eps = 1) ?(jobs = 1)
       patches = 0;
       repair_rounds = 0;
       repushed_pairs = 0;
+      regen_s = 0.;
+      push_s = 0.;
       flush_scheduled = false;
       busy_until_ns = 0;
       prober = None;

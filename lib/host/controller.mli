@@ -87,6 +87,10 @@ type repush_stats = {
   repair_rounds : int;  (** patches that carried a delta re-push *)
   repushed_pairs : int;  (** cumulative pairs regenerated and re-sent *)
   cached_pairs : int;  (** pairs currently in the ledger *)
+  regen_s : float;
+      (** cumulative wall seconds recomputing affected path graphs *)
+  push_s : float;
+      (** cumulative wall seconds re-recording and sending the results *)
 }
 
 val repush_stats : t -> repush_stats

@@ -11,7 +11,7 @@ let table =
          done;
          !c))
 
-let digest_sub buf ~pos ~len =
+let[@dumbnet.hot] digest_sub buf ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length buf then
     invalid_arg "Crc32.digest_sub: bad bounds";
   let table = Lazy.force table in

@@ -140,22 +140,6 @@ let byte_size t = header_bytes t + Payload.byte_size t.payload
 
 (* MAC layout: byte 0 encodes the address class (0x02 host, 0x04 switch,
    0xFF broadcast), bytes 1-4 the 32-bit id, byte 5 zero. *)
-let mac_of_addr = function
-  | Broadcast -> Bytes.make 6 '\xff'
-  | Node ep ->
-    let cls, id =
-      match ep with
-      | Host h -> ('\x02', h)
-      | Switch s -> ('\x04', s)
-    in
-    let b = Bytes.make 6 '\x00' in
-    Bytes.set b 0 cls;
-    Bytes.set b 1 (Char.chr ((id lsr 24) land 0xFF));
-    Bytes.set b 2 (Char.chr ((id lsr 16) land 0xFF));
-    Bytes.set b 3 (Char.chr ((id lsr 8) land 0xFF));
-    Bytes.set b 4 (Char.chr (id land 0xFF));
-    b
-
 let addr_of_mac b pos =
   match Bytes.get b pos with
   | '\xff' -> Broadcast
@@ -171,14 +155,35 @@ let addr_of_mac b pos =
     | '\x04' -> Node (Switch id)
     | _ -> raise Wire.Truncated)
 
-let to_bytes t =
-  let buf = Buffer.create 128 in
-  Buffer.add_bytes buf (mac_of_addr t.dst);
-  Buffer.add_bytes buf (mac_of_addr t.src);
-  Buffer.add_char buf (Char.chr ((t.ethertype lsr 8) land 0xFF));
-  Buffer.add_char buf (Char.chr (t.ethertype land 0xFF));
+let[@dumbnet.hot] write_mac w = function
+  | Broadcast ->
+    for _ = 1 to 6 do
+      Wire.Writer.u8 w 0xFF
+    done
+  | Node ep ->
+    let cls, id =
+      match ep with
+      | Host h -> (0x02, h)
+      | Switch s -> (0x04, s)
+    in
+    Wire.Writer.u8 w cls;
+    Wire.Writer.u8 w (id lsr 24);
+    Wire.Writer.u8 w (id lsr 16);
+    Wire.Writer.u8 w (id lsr 8);
+    Wire.Writer.u8 w id;
+    Wire.Writer.u8 w 0
+
+(* Single pass into one writer: every region (MACs, tags, telemetry,
+   program, payload) lands directly in the destination, the payload
+   length is back-patched around [Payload.write], and the CRC runs over
+   the writer's own backing store — no intermediate [Bytes] anywhere. *)
+let[@dumbnet.hot] write w t =
+  let start = Wire.Writer.pos w in
+  write_mac w t.dst;
+  write_mac w t.src;
+  Wire.Writer.u16 w t.ethertype;
   if t.ethertype = ethertype_dumbnet then
-    List.iter (fun tag -> Buffer.add_char buf (Tag.to_byte tag)) t.tags;
+    List.iter (fun tag -> Wire.Writer.u8 w (Char.code (Tag.to_byte tag))) t.tags;
   (* One TOS-like byte: bits 0-1 the ECN codepoint, bit 2 the priority
      class (conceptually the IP header's TOS, kept adjacent for the
      simulator's framing). *)
@@ -188,37 +193,39 @@ let to_bytes t =
     lor (if t.int_enabled then 0x08 else 0x00)
     lor match t.prog with Some _ -> 0x10 | None -> 0x00
   in
-  Buffer.add_char buf (Char.chr tos);
+  Wire.Writer.u8 w tos;
   (* Telemetry region: right after the TOS byte (itself after the tag
      stack), present iff TOS bit 3 is set — a count byte then that many
-     fixed-width stamps, appended hop by hop. *)
+     fixed-width stamps, appended hop by hop. Stamps are stored newest
+     first; recursing to the tail first emits wire (oldest-first) order
+     without materializing the reversed list. *)
   if t.int_enabled then begin
-    let w = Wire.Writer.create () in
     Wire.Writer.u8 w t.int_count;
-    List.iter (Int_stamp.write w) (int_stamps t);
-    Buffer.add_bytes buf (Wire.Writer.contents w)
+    let rec emit = function
+      | [] -> ()
+      | s :: rest ->
+        emit rest;
+        Int_stamp.write w s
+    in
+    emit t.int_rev_stamps
   end;
   (* Probe-program region: after the telemetry region, present iff TOS
      bit 4 is set — a count byte then the variable-width instructions. *)
   (match t.prog with
-  | Some prog ->
-    let w = Wire.Writer.create () in
-    Probe_prog.write w prog;
-    Buffer.add_bytes buf (Wire.Writer.contents w)
+  | Some prog -> Probe_prog.write w prog
   | None -> ());
-  let payload = Payload.encode t.payload in
-  Buffer.add_char buf (Char.chr ((Bytes.length payload lsr 8) land 0xFF));
-  Buffer.add_char buf (Char.chr (Bytes.length payload land 0xFF));
-  Buffer.add_bytes buf payload;
-  let body = Buffer.to_bytes buf in
-  let crc = Crc32.digest body in
-  let out = Bytes.create (Bytes.length body + 4) in
-  Bytes.blit body 0 out 0 (Bytes.length body);
-  Bytes.set out (Bytes.length body) (Char.chr (Int32.to_int (Int32.shift_right_logical crc 24) land 0xFF));
-  Bytes.set out (Bytes.length body + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical crc 16) land 0xFF));
-  Bytes.set out (Bytes.length body + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical crc 8) land 0xFF));
-  Bytes.set out (Bytes.length body + 3) (Char.chr (Int32.to_int crc land 0xFF));
-  out
+  let plen_at = Wire.Writer.pos w in
+  Wire.Writer.u16 w 0;
+  Payload.write w t.payload;
+  let body_end = Wire.Writer.pos w in
+  Wire.Writer.patch_u16 w plen_at (body_end - plen_at - 2);
+  let crc = Crc32.digest_sub (Wire.Writer.buffer w) ~pos:start ~len:(body_end - start) in
+  Wire.Writer.u32 w crc
+
+let to_bytes t =
+  let w = Wire.Writer.create () in
+  write w t;
+  Wire.Writer.contents w
 
 let of_bytes b =
   let len = Bytes.length b in
@@ -268,7 +275,7 @@ let of_bytes b =
       if count > Int_stamp.max_per_frame then raise Wire.Truncated;
       let region = count * Int_stamp.wire_size in
       if !pos + region > body_len then raise Wire.Truncated;
-      let r = Wire.Reader.of_bytes (Bytes.sub b !pos region) in
+      let r = Wire.Reader.of_sub b ~pos:!pos ~len:region in
       let stamps = List.init count (fun _ -> Int_stamp.read r) in
       pos := !pos + region;
       (count, List.rev stamps)
@@ -282,7 +289,7 @@ let of_bytes b =
          advance by the canonical encoded size of what was read. A
          program that swallows payload bytes fails the exact payload-
          length check below. *)
-      let r = Wire.Reader.of_bytes (Bytes.sub b !pos (body_len - !pos)) in
+      let r = Wire.Reader.of_sub b ~pos:!pos ~len:(body_len - !pos) in
       let p = Probe_prog.read r in
       pos := !pos + Probe_prog.wire_size p;
       Some p
@@ -292,7 +299,7 @@ let of_bytes b =
   let plen = (Char.code (Bytes.get b !pos) lsl 8) lor Char.code (Bytes.get b (!pos + 1)) in
   pos := !pos + 2;
   if !pos + plen <> body_len then raise Wire.Truncated;
-  let payload = Payload.decode (Bytes.sub b !pos plen) in
+  let payload = Payload.decode_from b ~pos:!pos ~len:plen in
   {
     dst;
     src;

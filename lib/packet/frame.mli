@@ -110,6 +110,12 @@ val header_bytes : t -> int
 val byte_size : t -> int
 (** Total wire size charged to links by the simulator. *)
 
+val write : Wire.Writer.t -> t -> unit
+(** Append the full on-wire form (header, regions, payload, CRC) to a
+    writer in a single pass — no intermediate [Bytes]. With a reused
+    {!Wire.Writer.reset} writer the steady-state transmit path performs
+    zero codec allocations. *)
+
 val to_bytes : t -> Bytes.t
 (** Exact wire layout: dst MAC, src MAC, EtherType, tags (0x9800 only),
     TOS byte, telemetry region (TOS bit 3 only: count byte + stamps),

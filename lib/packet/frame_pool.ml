@@ -169,6 +169,22 @@ let export_tags t s =
 let export_stamps t s =
   Array.sub t.stamps (s * stamp_stride) (t.nstamps.(s) * stamp_fields)
 
+(* Pool-to-pool move of the export/import roundtrip, minus the
+   intermediate Bytes/array: used by the sharded engine's sequential
+   path, where cross-shard delivery needs no serialization. *)
+let[@dumbnet.hot] transfer t s ~into =
+  let d =
+    acquire into ~src:t.srcs.(s) ~dst:t.dsts.(s) ~payload_bytes:t.payloads.(s)
+      ~int_enabled:(Bytes.get t.ints s <> '\x00')
+  in
+  let n = remaining_tag_bytes t s in
+  Bytes.blit t.tags ((s * max_tags) + t.tag_cur.(s)) into.tags (d * max_tags) n;
+  into.tag_len.(d) <- n;
+  let ns = t.nstamps.(s) * stamp_fields in
+  Array.blit t.stamps (s * stamp_stride) into.stamps (d * stamp_stride) ns;
+  into.nstamps.(d) <- t.nstamps.(s);
+  d
+
 let import t ~src ~dst ~payload_bytes ~int_enabled ~tags ~stamps =
   let s = acquire t ~src ~dst ~payload_bytes ~int_enabled in
   let n = Bytes.length tags in

@@ -109,3 +109,11 @@ val import :
   slot
 (** Materialize an exported frame: tag cursor rewound to the first
     exported byte, stamps restored in order. *)
+
+val transfer : t -> slot -> into:t -> slot
+(** [export_tags]/[export_stamps]/[import] fused into direct blits
+    between the two pools — no intermediate Bytes or array. Observable
+    state of the new slot is identical to the roundtrip's. The source
+    slot is untouched (release it separately). Used by the sharded
+    engine when shards run sequentially on one domain, where mailbox
+    serialization would be pure overhead. *)

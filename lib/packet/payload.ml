@@ -32,7 +32,7 @@ type t =
   | Token of { flow : int; packets : int }
   | Int_probe of { origin : host_id; seq : int; sent_ns : int }
 
-let write_link_end w (le : link_end) =
+let[@dumbnet.hot] write_link_end w (le : link_end) =
   W.int w le.sw;
   W.u8 w le.port
 
@@ -41,7 +41,7 @@ let read_link_end r =
   let port = R.u8 r in
   { sw; port }
 
-let write_event w e =
+let[@dumbnet.hot] write_event w e =
   write_link_end w e.position;
   W.bool w e.up;
   W.int w e.event_seq
@@ -83,7 +83,7 @@ let read_change r =
   | 3 -> Switch_removed (R.int r)
   | _ -> raise Wire.Truncated
 
-let write_path w (p : Path.t) =
+let[@dumbnet.hot] write_path w (p : Path.t) =
   W.int w p.Path.src;
   W.int w p.Path.dst;
   W.list w
@@ -103,7 +103,7 @@ let read_path r =
   in
   { Path.src; hops; dst }
 
-let write_pathgraph w (pg : Pathgraph.wire) =
+let[@dumbnet.hot] write_pathgraph w (pg : Pathgraph.wire) =
   W.int w pg.Pathgraph.w_src;
   W.int w pg.w_dst;
   write_link_end w pg.w_src_loc;
@@ -130,9 +130,8 @@ let read_pathgraph r =
   in
   { Pathgraph.w_src; w_dst; w_src_loc; w_dst_loc; w_primary; w_backup; w_edges }
 
-let encode t =
-  let w = W.create () in
-  (match t with
+let[@dumbnet.hot] write w t =
+  match t with
   | Data { flow; seq; size; sent_ns } ->
     W.u8 w 0;
     W.int w flow;
@@ -192,11 +191,19 @@ let encode t =
     W.u8 w 14;
     W.int w origin;
     W.int w seq;
-    W.int w sent_ns);
+    W.int w sent_ns
+
+let encode t =
+  let w = W.create () in
+  write w t;
   W.contents w
 
-let decode buf =
-  let r = R.of_bytes buf in
+let encode_into t buf ~pos =
+  let w = W.onto buf ~pos in
+  write w t;
+  W.pos w
+
+let read r =
   let t =
     match R.u8 r with
     | 0 ->
@@ -255,6 +262,10 @@ let decode buf =
   in
   if not (R.at_end r) then raise Wire.Truncated;
   t
+
+let decode buf = read (R.of_bytes buf)
+
+let[@dumbnet.hot] decode_from buf ~pos ~len = read (R.of_sub buf ~pos ~len)
 
 let byte_size = function
   | Data { size; _ } -> size

@@ -76,6 +76,25 @@ val encode : t -> Bytes.t
 val decode : Bytes.t -> t
 (** Raises {!Wire.Truncated} on malformed input. *)
 
+(** {2 Zero-copy path}
+
+    The hot transmit path encodes straight into the frame's destination
+    buffer and decodes regions of a received frame in place — no
+    intermediate [Bytes] on either side. *)
+
+val write : Wire.Writer.t -> t -> unit
+(** Append the encoding to a writer (growable or {!Wire.Writer.onto}).
+    [encode t = contents of a fresh writer after write]. *)
+
+val encode_into : t -> Bytes.t -> pos:int -> int
+(** Encode at [pos] in a caller-owned buffer; returns the end position.
+    Raises {!Wire.Truncated} if the buffer is too small — nothing else
+    is allocated or copied. *)
+
+val decode_from : Bytes.t -> pos:int -> len:int -> t
+(** Decode the [pos, pos+len) region in place (no [Bytes.sub]). Raises
+    {!Wire.Truncated} on malformed input, exactly as {!decode}. *)
+
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -1,11 +1,44 @@
 exception Truncated
 
 module Writer = struct
-  type t = Buffer.t
+  (* Bytes-backed, position-tracked — not a Buffer. The frame codec
+     writes regions (telemetry, program, payload) directly into one
+     destination and back-patches length fields, so encoding performs
+     no intermediate copies. A writer either grows by doubling
+     ([create]) or is pinned to a caller-owned destination ([onto]),
+     which is what the zero-copy [Payload.encode_into] path uses. *)
+  type t = {
+    mutable buf : Bytes.t;
+    mutable pos : int;
+    fixed : bool; (* [onto]: overflow raises instead of growing *)
+  }
 
-  let create () = Buffer.create 64
+  let create () = { buf = Bytes.create 64; pos = 0; fixed = false }
 
-  let u8 t v = Buffer.add_char t (Char.chr (v land 0xFF))
+  let onto buf ~pos =
+    if pos < 0 || pos > Bytes.length buf then invalid_arg "Wire.Writer.onto";
+    { buf; pos; fixed = true }
+
+  let pos t = t.pos
+
+  let reset t = t.pos <- 0
+
+  let ensure t n =
+    if t.pos + n > Bytes.length t.buf then begin
+      if t.fixed then raise Truncated;
+      let cap = ref (2 * Bytes.length t.buf) in
+      while t.pos + n > !cap do
+        cap := 2 * !cap
+      done;
+      let buf = Bytes.create !cap in
+      Bytes.blit t.buf 0 buf 0 t.pos;
+      t.buf <- buf
+    end
+
+  let u8 t v =
+    ensure t 1;
+    Bytes.unsafe_set t.buf t.pos (Char.unsafe_chr (v land 0xFF));
+    t.pos <- t.pos + 1
 
   let u16 t v =
     u8 t (v lsr 8);
@@ -22,9 +55,15 @@ module Writer = struct
 
   let bool t v = u8 t (if v then 1 else 0)
 
+  let raw t b =
+    let n = Bytes.length b in
+    ensure t n;
+    Bytes.blit b 0 t.buf t.pos n;
+    t.pos <- t.pos + n
+
   let bytes t b =
     u16 t (Bytes.length b);
-    Buffer.add_bytes t b
+    raw t b
 
   let list t f l =
     u16 t (List.length l);
@@ -36,16 +75,34 @@ module Writer = struct
       u8 t 1;
       f t v
 
-  let contents t = Buffer.to_bytes t
+  (* Back-patch a u16 written earlier (length fields whose value is
+     only known after the region body is written). *)
+  let patch_u16 t at v =
+    if at < 0 || at + 2 > t.pos then invalid_arg "Wire.Writer.patch_u16";
+    Bytes.set t.buf at (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set t.buf (at + 1) (Char.chr (v land 0xFF))
+
+  let contents t = Bytes.sub t.buf 0 t.pos
+
+  let buffer t = t.buf
 end
 
 module Reader = struct
-  type t = { buf : Bytes.t; mutable pos : int }
+  (* [limit] bounds the readable region so sub-regions of a larger
+     frame parse in place — no [Bytes.sub]. *)
+  type t = { buf : Bytes.t; mutable pos : int; limit : int }
 
-  let of_bytes buf = { buf; pos = 0 }
+  let of_bytes buf = { buf; pos = 0; limit = Bytes.length buf }
+
+  let of_sub buf ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+      invalid_arg "Wire.Reader.of_sub";
+    { buf; pos; limit = pos + len }
+
+  let pos t = t.pos
 
   let u8 t =
-    if t.pos >= Bytes.length t.buf then raise Truncated;
+    if t.pos >= t.limit then raise Truncated;
     let v = Char.code (Bytes.get t.buf t.pos) in
     t.pos <- t.pos + 1;
     v
@@ -76,7 +133,7 @@ module Reader = struct
 
   let bytes t =
     let len = u16 t in
-    if t.pos + len > Bytes.length t.buf then raise Truncated;
+    if t.pos + len > t.limit then raise Truncated;
     let b = Bytes.sub t.buf t.pos len in
     t.pos <- t.pos + len;
     b
@@ -91,5 +148,5 @@ module Reader = struct
     | 1 -> Some (f t)
     | _ -> raise Truncated
 
-  let at_end t = t.pos = Bytes.length t.buf
+  let at_end t = t.pos = t.limit
 end

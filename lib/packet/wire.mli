@@ -8,6 +8,18 @@ module Writer : sig
   type t
 
   val create : unit -> t
+  (** A growable writer (doubles its backing store as needed). *)
+
+  val onto : Bytes.t -> pos:int -> t
+  (** A writer pinned to a caller-owned destination, starting at [pos].
+      Writing past the end raises {!Truncated} — the zero-copy encode
+      path ([Payload.encode_into]) builds on this. *)
+
+  val pos : t -> int
+  (** Bytes written so far (plus the starting offset for {!onto}). *)
+
+  val reset : t -> unit
+  (** Rewind to the start so the backing store is reused. *)
 
   val u8 : t -> int -> unit
   (** Low 8 bits. *)
@@ -21,6 +33,9 @@ module Writer : sig
 
   val bool : t -> bool -> unit
 
+  val raw : t -> Bytes.t -> unit
+  (** The bytes as-is, no length prefix. *)
+
   val bytes : t -> Bytes.t -> unit
   (** Length-prefixed (u16). *)
 
@@ -29,13 +44,30 @@ module Writer : sig
 
   val option : t -> (t -> 'a -> unit) -> 'a option -> unit
 
+  val patch_u16 : t -> int -> int -> unit
+  (** [patch_u16 t at v] overwrites the u16 at offset [at] — for length
+      fields written as placeholders before their region's body. Raises
+      [Invalid_argument] unless both bytes were already written. *)
+
   val contents : t -> Bytes.t
+  (** A fresh copy of the written region. *)
+
+  val buffer : t -> Bytes.t
+  (** The backing store itself — valid up to {!pos}, invalidated by the
+      next write that grows the writer. For callers that immediately
+      consume the encoding (checksum, blit) without another copy. *)
 end
 
 module Reader : sig
   type t
 
   val of_bytes : Bytes.t -> t
+
+  val of_sub : Bytes.t -> pos:int -> len:int -> t
+  (** Read the [pos, pos+len) region in place — no [Bytes.sub]. All
+      bounds (including {!at_end}) are relative to that region. *)
+
+  val pos : t -> int
 
   val u8 : t -> int
 

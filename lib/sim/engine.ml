@@ -1,94 +1,152 @@
 (* The pending-event queue is the simulator's hottest structure: every
-   switch hop pushes and pops at least one event. It is a binary
-   min-heap over three parallel arrays — unboxed int timestamps, unboxed
-   int tie-break sequence numbers (with the daemon flag in the low bit),
-   and the event closures — so a sift moves machine ints and one
-   pointer, allocates nothing, and never calls a comparison closure. *)
+   switch hop pushes and pops at least one event. Two backends
+   implement the same ordering contract — fire time ascending, then
+   insertion order (FIFO among equal times, with the daemon flag riding
+   below the insertion count so it never reorders):
+
+   - [Heap]: a binary min-heap over three parallel arrays — unboxed int
+     timestamps, unboxed int tie-break sequence numbers (daemon flag in
+     the low bit), and the event closures — so a sift moves machine
+     ints and one pointer, allocates nothing, and never calls a
+     comparison closure. The default.
+
+   - [Wheel]: the hierarchical timing wheel ({!Wheel}), O(1) for the
+     dense near-horizon band. Closures live in a free-listed side table
+     and the wheel carries only their ids, keeping its lanes pure int.
+     Opt in per-engine or process-wide via [DUMBNET_ENGINE=wheel]. *)
 
 let dummy_fn () = ()
 
-type t = {
-  mutable clock : int;
+type backend = Heap | Wheel
+
+let default_backend () =
+  match Sys.getenv_opt "DUMBNET_ENGINE" with
+  | Some ("wheel" | "wheel-nochain") -> Wheel
+  | Some _ | None -> Heap
+
+type heap = {
   mutable keys : int array; (* fire time, ns *)
   mutable seqs : int array; (* (insertion order lsl 1) lor daemon bit *)
   mutable fns : (unit -> unit) array;
   mutable size : int;
+}
+
+type wstate = {
+  w : Wheel.t;
+  mutable wfns : (unit -> unit) array; (* closure table, wheel carries ids *)
+  mutable wfree : int array; (* free-id stack *)
+  mutable wtop : int;
+}
+
+type sched = Sheap of heap | Swheel of wstate
+
+type t = {
+  mutable clock : int;
+  sched : sched;
   mutable next_seq : int;
   mutable processed : int;
   mutable regular : int; (* pending non-daemon events *)
 }
 
-let create () =
-  {
-    clock = 0;
-    keys = Array.make 16 0;
-    seqs = Array.make 16 0;
-    fns = Array.make 16 dummy_fn;
-    size = 0;
-    next_seq = 0;
-    processed = 0;
-    regular = 0;
-  }
+let create ?backend () =
+  let backend = match backend with Some b -> b | None -> default_backend () in
+  let sched =
+    match backend with
+    | Heap ->
+      Sheap
+        { keys = Array.make 16 0; seqs = Array.make 16 0; fns = Array.make 16 dummy_fn; size = 0 }
+    | Wheel ->
+      Swheel
+        {
+          w = Wheel.create ();
+          wfns = Array.make 16 dummy_fn;
+          wfree = Array.init 16 (fun i -> 15 - i);
+          wtop = 16;
+        }
+  in
+  { clock = 0; sched; next_seq = 0; processed = 0; regular = 0 }
+
+let backend t = match t.sched with Sheap _ -> Heap | Swheel _ -> Wheel
 
 let now t = t.clock
 
-(* Order by time, then by insertion for FIFO among equal times (the
-   daemon bit rides below the insertion count, so it never reorders). *)
-let less t i j =
-  t.keys.(i) < t.keys.(j) || (t.keys.(i) = t.keys.(j) && t.seqs.(i) < t.seqs.(j))
+(* Order by time, then by insertion for FIFO among equal times. *)
+let less h i j =
+  h.keys.(i) < h.keys.(j) || (h.keys.(i) = h.keys.(j) && h.seqs.(i) < h.seqs.(j))
 
-let swap t i j =
-  let k = t.keys.(i) in
-  t.keys.(i) <- t.keys.(j);
-  t.keys.(j) <- k;
-  let s = t.seqs.(i) in
-  t.seqs.(i) <- t.seqs.(j);
-  t.seqs.(j) <- s;
-  let f = t.fns.(i) in
-  t.fns.(i) <- t.fns.(j);
-  t.fns.(j) <- f
+let swap h i j =
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let s = h.seqs.(i) in
+  h.seqs.(i) <- h.seqs.(j);
+  h.seqs.(j) <- s;
+  let f = h.fns.(i) in
+  h.fns.(i) <- h.fns.(j);
+  h.fns.(j) <- f
 
-let rec sift_up t i =
+let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less t i parent then begin
-      swap t i parent;
-      sift_up t parent
+    if less h i parent then begin
+      swap h i parent;
+      sift_up h parent
     end
   end
 
-let rec sift_down t i =
+let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = if l < t.size && less t l i then l else i in
-  let smallest = if r < t.size && less t r smallest then r else smallest in
+  let smallest = if l < h.size && less h l i then l else i in
+  let smallest = if r < h.size && less h r smallest then r else smallest in
   if smallest <> i then begin
-    swap t i smallest;
-    sift_down t smallest
+    swap h i smallest;
+    sift_down h smallest
   end
 
-let grow t =
-  let cap = Array.length t.keys in
+let grow h =
+  let cap = Array.length h.keys in
   let new_cap = 2 * cap in
   let keys = Array.make new_cap 0 in
   let seqs = Array.make new_cap 0 in
   let fns = Array.make new_cap dummy_fn in
-  Array.blit t.keys 0 keys 0 t.size;
-  Array.blit t.seqs 0 seqs 0 t.size;
-  Array.blit t.fns 0 fns 0 t.size;
-  t.keys <- keys;
-  t.seqs <- seqs;
-  t.fns <- fns
+  Array.blit h.keys 0 keys 0 h.size;
+  Array.blit h.seqs 0 seqs 0 h.size;
+  Array.blit h.fns 0 fns 0 h.size;
+  h.keys <- keys;
+  h.seqs <- seqs;
+  h.fns <- fns
+
+let[@dumbnet.hot] fn_alloc ws fn =
+  if ws.wtop = 0 then begin
+    let cap = Array.length ws.wfns in
+    ws.wfns <- Array.append ws.wfns (Array.make cap dummy_fn);
+    ws.wfree <- Array.make (2 * cap) 0;
+    for i = 0 to cap - 1 do
+      ws.wfree.(i) <- (2 * cap) - 1 - i
+    done;
+    ws.wtop <- cap
+  end;
+  ws.wtop <- ws.wtop - 1;
+  let id = ws.wfree.(ws.wtop) in
+  ws.wfns.(id) <- fn;
+  id
 
 let[@dumbnet.hot] push t at ~daemon fn =
-  if t.size = Array.length t.keys then grow t;
-  let i = t.size in
-  t.keys.(i) <- at;
-  t.seqs.(i) <- (t.next_seq lsl 1) lor if daemon then 1 else 0;
-  t.fns.(i) <- fn;
+  let seq = (t.next_seq lsl 1) lor if daemon then 1 else 0 in
   t.next_seq <- t.next_seq + 1;
-  t.size <- t.size + 1;
-  sift_up t i;
-  if not daemon then t.regular <- t.regular + 1
+  if not daemon then t.regular <- t.regular + 1;
+  match t.sched with
+  | Sheap h ->
+    if h.size = Array.length h.keys then grow h;
+    let i = h.size in
+    h.keys.(i) <- at;
+    h.seqs.(i) <- seq;
+    h.fns.(i) <- fn;
+    h.size <- h.size + 1;
+    sift_up h i
+  | Swheel ws ->
+    let id = fn_alloc ws fn in
+    Wheel.push ws.w ~time:at ~k1:seq ~k2:0 ~d0:id ~d1:0
 
 let schedule t ~delay_ns f =
   if delay_ns < 0 then invalid_arg "Engine.schedule: negative delay";
@@ -102,40 +160,71 @@ let schedule_daemon t ~delay_ns f =
   if delay_ns < 0 then invalid_arg "Engine.schedule_daemon: negative delay";
   push t (t.clock + delay_ns) ~daemon:true f
 
-let[@dumbnet.hot] run ?until_ns ?max_events t =
+let[@dumbnet.hot] run_heap t h ~until_ns ~max_events =
   let budget = ref (Option.value max_events ~default:max_int) in
   let continue = ref true in
   while !continue && !budget > 0 do
     (* Without a time bound, stop when only daemons remain. *)
-    if (until_ns = None && t.regular = 0) || t.size = 0 then continue := false
+    if (until_ns = None && t.regular = 0) || h.size = 0 then continue := false
     else begin
-      let at = t.keys.(0) in
+      let at = h.keys.(0) in
       match until_ns with
       | Some limit when at > limit -> continue := false
       | Some _ | None ->
-        let daemon = t.seqs.(0) land 1 = 1 in
-        let fn = t.fns.(0) in
-        t.size <- t.size - 1;
-        if t.size > 0 then begin
-          t.keys.(0) <- t.keys.(t.size);
-          t.seqs.(0) <- t.seqs.(t.size);
-          t.fns.(0) <- t.fns.(t.size);
-          t.fns.(t.size) <- dummy_fn;
-          sift_down t 0
+        let daemon = h.seqs.(0) land 1 = 1 in
+        let fn = h.fns.(0) in
+        h.size <- h.size - 1;
+        if h.size > 0 then begin
+          h.keys.(0) <- h.keys.(h.size);
+          h.seqs.(0) <- h.seqs.(h.size);
+          h.fns.(0) <- h.fns.(h.size);
+          h.fns.(h.size) <- dummy_fn;
+          sift_down h 0
         end
-        else t.fns.(0) <- dummy_fn;
+        else h.fns.(0) <- dummy_fn;
         t.clock <- max t.clock at;
         t.processed <- t.processed + 1;
         if not daemon then t.regular <- t.regular - 1;
         decr budget;
         fn ()
     end
-  done;
+  done
+
+let[@dumbnet.hot] run_wheel t ws ~until_ns ~max_events =
+  let budget = ref (Option.value max_events ~default:max_int) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    if (until_ns = None && t.regular = 0) || not (Wheel.min_ready ws.w) then
+      continue := false
+    else begin
+      let at = Wheel.min_time ws.w in
+      match until_ns with
+      | Some limit when at > limit -> continue := false
+      | Some _ | None ->
+        let daemon = Wheel.min_k1 ws.w land 1 = 1 in
+        let id = Wheel.min_d0 ws.w in
+        Wheel.pop ws.w;
+        let fn = ws.wfns.(id) in
+        ws.wfns.(id) <- dummy_fn;
+        ws.wfree.(ws.wtop) <- id;
+        ws.wtop <- ws.wtop + 1;
+        t.clock <- max t.clock at;
+        t.processed <- t.processed + 1;
+        if not daemon then t.regular <- t.regular - 1;
+        decr budget;
+        fn ()
+    end
+  done
+
+let[@dumbnet.hot] run ?until_ns ?max_events t =
+  (match t.sched with
+  | Sheap h -> run_heap t h ~until_ns ~max_events
+  | Swheel ws -> run_wheel t ws ~until_ns ~max_events);
   match until_ns with
   | Some limit when t.clock < limit && Option.is_none max_events -> t.clock <- limit
   | Some _ | None -> ()
 
-let pending t = t.size
+let pending t = match t.sched with Sheap h -> h.size | Swheel ws -> Wheel.size ws.w
 
 let pending_regular t = t.regular
 

@@ -101,7 +101,8 @@ let heap_remove_min h =
 (* ------------------------------------------------------------------ *)
 
 (* A frame crossing the shard cut, serialized out of the origin pool.
-   Allocated only on cut cables, never on the intra-shard path. *)
+   Allocated only on cut cables under a parallel pool — the sequential
+   path moves frames pool-to-pool directly ({!Frame_pool.transfer}). *)
 type msg = {
   m_time : int;
   m_k1 : int;
@@ -115,14 +116,38 @@ type msg = {
   m_stamps : int array;
 }
 
+(* Per-shard scheduler: the typed-event heap, or the timing wheel
+   packing the same (info, slot) payload into its two data lanes. *)
+type sched = Sheap of heap | Swheel of Wheel.t
+
 type shard = {
   sid : int;
-  heap : heap;
+  sched : sched;
   fpool : Frame_pool.t;
   st : Network.stats;
   out_msgs : msg list array; (* per destination shard, newest first *)
   mutable out_any : bool;
+  (* The event the last [hop] produced (the frame's next hop), parked
+     here instead of pushed so the drain loop can run it inline when it
+     is provably the scheduler minimum (run-to-next-conflict). *)
+  mutable p_any : bool;
+  mutable p_time : int;
+  mutable p_k1 : int;
+  mutable p_k2 : int;
+  mutable p_info : int;
+  mutable p_slot : int;
 }
+
+let[@dumbnet.hot] sched_push sh ~time ~k1 ~k2 ~info ~slot =
+  match sh.sched with
+  | Sheap h -> heap_push h ~time ~k1 ~k2 ~info ~slot
+  | Swheel w -> Wheel.push w ~time ~k1 ~k2 ~d0:info ~d1:slot
+
+(* Earliest pending time, or [max_int] when idle (window tmin scan). *)
+let[@dumbnet.hot] sched_min_time sh =
+  match sh.sched with
+  | Sheap h -> if h.n > 0 then h.ts.(0) else max_int
+  | Swheel w -> if Wheel.min_ready w then Wheel.min_time w else max_int
 
 type control = {
   c_time : int;
@@ -131,8 +156,13 @@ type control = {
   c_up : bool;
 }
 
+type engine_kind = Heap_sched | Wheel_sched | Wheel_chain
+
 type t = {
   config : Network.config;
+  engine : engine_kind;
+  chain : bool;
+  mutable direct : bool; (* sequential run: cross-shard frames skip mailboxes *)
   nshards : int;
   part : Partition.t;
   lookahead : int;
@@ -174,6 +204,23 @@ let default_shards () =
   | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | Some _ | None -> 1)
   | None -> 1
 
+let default_engine () =
+  match Sys.getenv_opt "DUMBNET_ENGINE" with
+  | Some "wheel" -> Wheel_chain
+  | Some "wheel-nochain" -> Wheel_sched
+  | Some _ | None -> Heap_sched
+
+let engine_kind_of_string = function
+  | "heap" -> Some Heap_sched
+  | "wheel" -> Some Wheel_chain
+  | "wheel-nochain" -> Some Wheel_sched
+  | _ -> None
+
+let engine_kind_name = function
+  | Heap_sched -> "heap"
+  | Wheel_sched -> "wheel-nochain"
+  | Wheel_chain -> "wheel"
+
 let fresh_stats () : Network.stats =
   {
     host_tx = 0;
@@ -188,7 +235,8 @@ let fresh_stats () : Network.stats =
     probe_mirrors = 0;
   }
 
-let create ?(config = Network.default_config) ?shards ~graph:g () =
+let create ?(config = Network.default_config) ?shards ?engine ~graph:g () =
+  let engine = match engine with Some e -> e | None -> default_engine () in
   let nsw = Graph.num_switches g in
   let nhosts = Graph.num_hosts g in
   let requested = match shards with Some s -> s | None -> default_shards () in
@@ -235,6 +283,9 @@ let create ?(config = Network.default_config) ?shards ~graph:g () =
   let nic = Nic.Dumbnet_agent in
   {
     config;
+    engine;
+    chain = (engine = Wheel_chain);
+    direct = false;
     nshards;
     part;
     lookahead;
@@ -262,11 +313,20 @@ let create ?(config = Network.default_config) ?shards ~graph:g () =
       Array.init nshards (fun sid ->
           {
             sid;
-            heap = heap_create ();
+            sched =
+              (match engine with
+              | Heap_sched -> Sheap (heap_create ())
+              | Wheel_sched | Wheel_chain -> Swheel (Wheel.create ()));
             fpool = Frame_pool.create ();
             st = fresh_stats ();
             out_msgs = Array.make nshards [];
             out_any = false;
+            p_any = false;
+            p_time = 0;
+            p_k1 = 0;
+            p_k2 = 0;
+            p_info = 0;
+            p_slot = 0;
           });
     controls = [];
     nctrl = 0;
@@ -275,6 +335,8 @@ let create ?(config = Network.default_config) ?shards ~graph:g () =
   }
 
 let shards t = t.nshards
+
+let engine_kind t = t.engine
 
 let partition t = t.part
 
@@ -335,7 +397,7 @@ let inject t ~at_ns ~src ~dst ~tags ?(payload_bytes = 1000) ?(int_enabled = fals
         let arrival =
           finish + t.config.Network.propagation_ns + t.config.Network.switch_latency_ns
         in
-        heap_push sh.heap ~time:arrival ~k1:depart
+        sched_push sh ~time:arrival ~k1:depart
           ~k2:(pack_k2 ~origin:(t.host_origin + src) ~counter:t.h_cnt.(src))
           ~info:(((sw lsl 9) lor t.h_port.(src)) lsl 1)
           ~slot;
@@ -425,13 +487,13 @@ let hop t sh ~now ~sw ~in_port:_ slot =
     end
     else begin
       let busy = t.busy.(eidx) in
+      let backlog = backlog_bytes t ~busy_until:busy ~now in
       if
-        Frame_pool.try_stamp fp slot ~switch:sw ~port:tagb
-          ~queue_depth:(backlog_bytes t ~busy_until:busy ~now)
+        Frame_pool.try_stamp fp slot ~switch:sw ~port:tagb ~queue_depth:backlog
           ~timestamp_ns:now
       then sh.st.int_stamped <- sh.st.int_stamped + 1;
       let bytes = Frame_pool.byte_size fp slot in
-      if backlog_bytes t ~busy_until:busy ~now > t.config.Network.queue_bytes then begin
+      if backlog > t.config.Network.queue_bytes then begin
         sh.st.queue_drops <- sh.st.queue_drops + 1;
         Frame_pool.release fp slot
       end
@@ -443,16 +505,19 @@ let hop t sh ~now ~sw ~in_port:_ slot =
         t.busy.(eidx) <- finish;
         let k2 = pack_k2 ~origin:eidx ~counter:t.cnt.(eidx) in
         let tv = t.target.(eidx) in
-        if tv land 3 = 1 then
+        if tv land 3 = 1 then begin
           (* Host delivery: propagation, then the NIC's receive latency
-             plus its INT-region walk, folded into one event. *)
-          heap_push sh.heap
-            ~time:
-              (finish + t.config.Network.propagation_ns + t.nic_rx
-              + (t.nic_parse * Frame_pool.stamp_count fp slot))
-            ~k1:now ~k2
-            ~info:(((tv lsr 2) lsl 1) lor 1)
-            ~slot
+             plus its INT-region walk, folded into one event. Parked in
+             the pending cell — the drain loop chains or pushes it. *)
+          sh.p_any <- true;
+          sh.p_time <-
+            finish + t.config.Network.propagation_ns + t.nic_rx
+            + (t.nic_parse * Frame_pool.stamp_count fp slot);
+          sh.p_k1 <- now;
+          sh.p_k2 <- k2;
+          sh.p_info <- ((tv lsr 2) lsl 1) lor 1;
+          sh.p_slot <- slot
+        end
         else begin
           let v = tv lsr 2 in
           let peer = v lsr 9 in
@@ -460,12 +525,29 @@ let hop t sh ~now ~sw ~in_port:_ slot =
             finish + t.config.Network.propagation_ns + t.config.Network.switch_latency_ns
           in
           let dsid = t.shard_of_sw.(peer) in
-          if dsid = sh.sid then
-            heap_push sh.heap ~time:arrival ~k1:now ~k2 ~info:(v lsl 1) ~slot
+          if dsid = sh.sid then begin
+            sh.p_any <- true;
+            sh.p_time <- arrival;
+            sh.p_k1 <- now;
+            sh.p_k2 <- k2;
+            sh.p_info <- v lsl 1;
+            sh.p_slot <- slot
+          end
+          else if t.direct then begin
+            (* Sequential run: the destination scheduler is safe to
+               touch from here, so move the frame pool-to-pool with no
+               serialization. arrival >= now + lookahead >= the window
+               horizon, so the destination never processes it in the
+               window it was produced — same barrier semantics as the
+               mailbox path. *)
+            let dsh = t.shards.(dsid) in
+            let nslot = Frame_pool.transfer fp slot ~into:dsh.fpool in
+            sched_push dsh ~time:arrival ~k1:now ~k2 ~info:(v lsl 1) ~slot:nslot;
+            Frame_pool.release fp slot
+          end
           else begin
-            (* Cut crossing: serialize into the destination's mailbox.
-               arrival >= now + lookahead >= the window horizon, so the
-               destination shard cannot have run past it. *)
+            (* Cut crossing under a parallel pool: serialize into the
+               destination's mailbox, exchanged at the barrier. *)
             sh.out_msgs.(dsid) <-
               {
                 m_time = arrival;
@@ -488,24 +570,83 @@ let hop t sh ~now ~sw ~in_port:_ slot =
     end
   end
 
-let process_min t sh =
-  let h = sh.heap in
-  let now = h.ts.(0) in
-  let info = h.ev.(0) in
-  let slot = h.sl.(0) in
-  heap_remove_min h;
+let exec t sh ~now ~info ~slot =
   if info land 1 = 1 then deliver t sh ~now (info lsr 1) slot
   else begin
     let v = info lsr 1 in
     hop t sh ~now ~sw:(v lsr 9) ~in_port:(v land 0x1FF) slot
   end
 
-(* Drain one shard up to (strictly below) [horizon]. *)
-let drain t sh ~horizon =
-  let h = sh.heap in
+let drain_heap t sh h ~horizon =
   while h.n > 0 && h.ts.(0) < horizon do
-    process_min t sh
+    let now = h.ts.(0) in
+    let info = h.ev.(0) in
+    let slot = h.sl.(0) in
+    heap_remove_min h;
+    exec t sh ~now ~info ~slot;
+    if sh.p_any then begin
+      sh.p_any <- false;
+      heap_push h ~time:sh.p_time ~k1:sh.p_k1 ~k2:sh.p_k2 ~info:sh.p_info
+        ~slot:sh.p_slot
+    end
   done
+
+let[@dumbnet.hot] drain_wheel t sh w ~horizon =
+  while Wheel.min_ready w && Wheel.min_time w < horizon do
+    let now = Wheel.min_time w in
+    let info = Wheel.min_d0 w in
+    let slot = Wheel.min_d1 w in
+    Wheel.pop w;
+    exec t sh ~now ~info ~slot;
+    if sh.p_any then begin
+      sh.p_any <- false;
+      Wheel.push w ~time:sh.p_time ~k1:sh.p_k1 ~k2:sh.p_k2 ~d0:sh.p_info
+        ~d1:sh.p_slot
+    end
+  done
+
+(* Run-to-next-conflict: the pending event may run inline iff it is
+   inside the window and strictly below everything scheduled — then
+   executing it now is exactly what key order would do, only without a
+   scheduler round-trip. The moment another event intervenes (NIC
+   pacing, queue contention, a control barrier bounding [horizon]) the
+   comparison fails and the event takes the normal push path. *)
+let[@dumbnet.hot] chain_ok sh w ~horizon =
+  sh.p_time < horizon
+  && (not (Wheel.min_ready w)
+     || sh.p_time < Wheel.min_time w
+     || (sh.p_time = Wheel.min_time w
+        && (sh.p_k1 < Wheel.min_k1 w
+           || (sh.p_k1 = Wheel.min_k1 w && sh.p_k2 < Wheel.min_k2 w))))
+
+let[@dumbnet.hot] drain_wheel_chain t sh w ~horizon =
+  while Wheel.min_ready w && Wheel.min_time w < horizon do
+    let now = Wheel.min_time w in
+    let info = Wheel.min_d0 w in
+    let slot = Wheel.min_d1 w in
+    Wheel.pop w;
+    exec t sh ~now ~info ~slot;
+    while sh.p_any && chain_ok sh w ~horizon do
+      sh.p_any <- false;
+      let now = sh.p_time in
+      let info = sh.p_info in
+      let slot = sh.p_slot in
+      exec t sh ~now ~info ~slot
+    done;
+    if sh.p_any then begin
+      sh.p_any <- false;
+      Wheel.push w ~time:sh.p_time ~k1:sh.p_k1 ~k2:sh.p_k2 ~d0:sh.p_info
+        ~d1:sh.p_slot
+    end
+  done
+
+(* Drain one shard up to (strictly below) [horizon]. *)
+let[@dumbnet.hot] drain t sh ~horizon =
+  match sh.sched with
+  | Sheap h -> drain_heap t sh h ~horizon
+  | Swheel w ->
+    if t.chain then drain_wheel_chain t sh w ~horizon
+    else drain_wheel t sh w ~horizon
 
 let exchange t =
   for s = 0 to t.nshards - 1 do
@@ -525,7 +666,7 @@ let exchange t =
                   ~payload_bytes:m.m_payload ~int_enabled:m.m_int ~tags:m.m_tags
                   ~stamps:m.m_stamps
               in
-              heap_push dst.heap ~time:m.m_time ~k1:m.m_k1 ~k2:m.m_k2 ~info:m.m_info
+              sched_push dst ~time:m.m_time ~k1:m.m_k1 ~k2:m.m_k2 ~info:m.m_info
                 ~slot)
             (List.rev msgs)
       done
@@ -540,41 +681,34 @@ let sort_controls t =
         else compare a.c_seq b.c_seq)
       t.controls
 
-(* shards = 1: the classic shape — one heap run dry, controls applied
-   in timestamp order before any event at or past their instant. No
-   windows, no mailboxes, no horizon bookkeeping. *)
+(* shards = 1: the classic shape — one scheduler run dry, controls
+   applied in timestamp order before any event at or past their
+   instant. No windows, no mailboxes; the next control (if any) bounds
+   the chaining horizon. *)
 let run_single t =
   let sh = t.shards.(0) in
-  let h = sh.heap in
   let rec loop controls =
     match controls with
-    | c :: rest when h.n = 0 || c.c_time <= h.ts.(0) ->
+    | c :: rest ->
+      drain t sh ~horizon:c.c_time;
       apply_control t c;
       loop rest
-    | _ ->
-      if h.n > 0 then begin
-        process_min t sh;
-        loop controls
-      end
+    | [] -> drain t sh ~horizon:max_int
   in
   loop t.controls
 
-let run_windows ?pool t =
-  let parallel =
-    match pool with
-    | Some p -> Pool.jobs p > 1
-    | None -> false
-  in
+let run_windows ?pool ~parallel t =
   let rec loop controls =
     let tmin = ref max_int in
     for s = 0 to t.nshards - 1 do
-      let h = t.shards.(s).heap in
-      if h.n > 0 && h.ts.(0) < !tmin then tmin := h.ts.(0)
+      let mt = sched_min_time t.shards.(s) in
+      if mt < !tmin then tmin := mt
     done;
     match controls with
     | c :: rest when c.c_time <= !tmin ->
-      (* Global barrier: every shard is idle (all heaps drained below
-         this instant), so flipping link state races with nothing. *)
+      (* Global barrier: every shard is idle (all schedulers drained
+         below this instant), so flipping link state races with
+         nothing. *)
       apply_control t c;
       loop rest
     | _ ->
@@ -603,7 +737,13 @@ let run ?pool t =
   if not t.ran then begin
     t.ran <- true;
     sort_controls t;
-    if t.nshards = 1 then run_single t else run_windows ?pool t
+    let parallel =
+      match pool with
+      | Some p -> Pool.jobs p > 1
+      | None -> false
+    in
+    t.direct <- not parallel;
+    if t.nshards = 1 then run_single t else run_windows ?pool ~parallel t
   end
 
 (* ------------------------------------------------------------------ *)

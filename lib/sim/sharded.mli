@@ -38,18 +38,45 @@ open Types
 
 type t
 
+type engine_kind =
+  | Heap_sched  (** Typed-event binary heap per shard. The default. *)
+  | Wheel_sched  (** Hierarchical timing wheel ({!Wheel}) per shard. *)
+  | Wheel_chain
+      (** Timing wheel plus run-to-next-conflict hop chaining: an event
+          produced by a hop that is provably the scheduler minimum (and
+          inside the window) executes inline without a scheduler
+          round-trip. *)
+
 val default_shards : unit -> int
 (** [DUMBNET_SHARDS] if set to a positive integer, else 1. *)
 
-val create : ?config:Network.config -> ?shards:int -> graph:Graph.t -> unit -> t
+val default_engine : unit -> engine_kind
+(** [DUMBNET_ENGINE]: ["wheel"] is {!Wheel_chain}, ["wheel-nochain"]
+    is {!Wheel_sched}, anything else (or unset) is {!Heap_sched}. *)
+
+val engine_kind_of_string : string -> engine_kind option
+(** ["heap"], ["wheel"], ["wheel-nochain"]. *)
+
+val engine_kind_name : engine_kind -> string
+
+val create :
+  ?config:Network.config ->
+  ?shards:int ->
+  ?engine:engine_kind ->
+  graph:Graph.t ->
+  unit ->
+  t
 (** Partition [graph] and build the per-shard state. [shards] defaults
-    to {!default_shards}, and is clamped to the switch count. Raises
-    [Invalid_argument] if [shards > 1] while
+    to {!default_shards}, [engine] to {!default_engine} — every engine
+    kind yields byte-identical results ({!digest}); they differ only in
+    scheduler cost. Raises [Invalid_argument] if [shards > 1] while
     [propagation_ns + switch_latency_ns = 0] — zero lookahead means no
     safe window exists. The graph is snapshotted: mutate it afterwards
     and the simulation will not notice. *)
 
 val shards : t -> int
+
+val engine_kind : t -> engine_kind
 
 val partition : t -> Partition.t
 

@@ -365,11 +365,11 @@ type fingerprint = {
   fp_leak : int;
 }
 
-let scenario_fingerprint ?pool g ~seed ~shards ~frames =
+let scenario_fingerprint ?pool ?engine g ~seed ~shards ~frames =
   let rng = Rng.create (0x5eed + seed) in
   let hosts = Array.of_list (Graph.host_ids g) in
   let n = Array.length hosts in
-  let sim = Sharded.create ~shards ~graph:g () in
+  let sim = Sharded.create ~shards ?engine ~graph:g () in
   Array.iter
     (fun src ->
       for i = 1 to frames do
@@ -456,6 +456,39 @@ let test_pooled_run_matches () =
             true (got = reference))
         [ 2; 4 ])
 
+(* --- scheduler choice is invisible: heap, wheel, and wheel+chaining
+   produce bit-identical fingerprints on the full scenario (traffic,
+   INT, drops, mid-run fail/restore) at every shard count --- *)
+
+let check_engines_agree g ~seed ~frames =
+  List.iter
+    (fun shards ->
+      let reference =
+        scenario_fingerprint ~engine:Sharded.Heap_sched g ~seed ~shards ~frames
+      in
+      check Alcotest.bool "traffic flowed" true (reference.fp_hops > 0);
+      check Alcotest.int "no slot leak" 0 reference.fp_leak;
+      List.iter
+        (fun engine ->
+          let got = scenario_fingerprint ~engine g ~seed ~shards ~frames in
+          check Alcotest.bool
+            (Printf.sprintf "%s = heap (shards=%d, seed %d)"
+               (Sharded.engine_kind_name engine) shards seed)
+            true (got = reference))
+        [ Sharded.Wheel_sched; Sharded.Wheel_chain ])
+    [ 1; 2; 4 ]
+
+let test_engines_fat_tree () =
+  let built = Builder.fat_tree ~k:4 () in
+  List.iter (fun seed -> check_engines_agree built.Builder.graph ~seed ~frames:6) [ 1; 5 ]
+
+let test_engines_jellyfish () =
+  let built =
+    Builder.random_regular ~rng:(Rng.create 7) ~switches:16 ~degree:4
+      ~hosts_per_switch:1 ()
+  in
+  check_engines_agree built.Builder.graph ~seed:3 ~frames:5
+
 let () =
   Alcotest.run "sharded"
     [
@@ -485,5 +518,7 @@ let () =
           Alcotest.test_case "fat-tree k=4 all shard counts" `Quick test_fat_tree_determinism;
           QCheck_alcotest.to_alcotest jellyfish_determinism_prop;
           Alcotest.test_case "pooled = sequential" `Quick test_pooled_run_matches;
+          Alcotest.test_case "engines agree on fat-tree k=4" `Quick test_engines_fat_tree;
+          Alcotest.test_case "engines agree on jellyfish-16" `Quick test_engines_jellyfish;
         ] );
     ]

@@ -1,0 +1,173 @@
+(* The timing wheel against a reference model: any interleaving of
+   pushes and pops must dequeue exactly the ascending (time, k1, k2)
+   order a sorted list would — including entries past the L0 block
+   (~1 ms), past the L1 window (~67 ms, the overflow heap), and pushed
+   while a harvested run is live. The generators are tuned to cross
+   every routing boundary: same-slot ties, slot/block edges, far-future
+   spills, and monotone drift that forces promotion out of the heap. *)
+
+open Dumbnet_sim
+
+(* Reference model: a sorted association list keyed by (time, k1, k2).
+   Quadratic, obviously correct. *)
+module Model = struct
+  type entry = { time : int; k1 : int; k2 : int; d0 : int; d1 : int }
+
+  let key e = (e.time, e.k1, e.k2)
+
+  let insert e l =
+    let rec go = function
+      | [] -> [ e ]
+      | x :: rest -> if key e < key x then e :: x :: rest else x :: go rest
+    in
+    go l
+end
+
+(* One scripted op: [Push dt_bucket] schedules at the current virtual
+   floor plus a boundary-crossing offset; [Pop] drains one entry. *)
+type op = Push of int | Pop
+
+let offset_of_bucket b =
+  (* Buckets stress distinct routing paths (256-ns slots, 1-ms blocks,
+     67-ms heap horizon). *)
+  match b mod 8 with
+  | 0 -> 0 (* same slot as the floor: tie territory *)
+  | 1 -> 1 + (b mod 251) (* inside the slot or its neighbours *)
+  | 2 -> 256 * (1 + (b mod 16)) (* a few slots ahead *)
+  | 3 -> 1_048_576 - 128 (* L0 block edge *)
+  | 4 -> 1_048_576 * (1 + (b mod 4)) (* L1, a few blocks out *)
+  | 5 -> 1_048_576 * 63 (* last L1 block before the heap *)
+  | 6 -> 1_048_576 * (64 + (b mod 64)) (* overflow heap *)
+  | _ -> 1_048_576 * 200 (* deep heap: promotion must retrieve it *)
+
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 400)
+      (frequency
+         [ (3, map (fun b -> Push b) (int_bound 10_000)); (2, return Pop) ]))
+
+let arb_ops = QCheck.make ~print:(fun l -> Printf.sprintf "<%d ops>" (List.length l)) ops_gen
+
+(* Run the script through both; every pop must match field-for-field.
+   [floor] tracks the last popped time so generated pushes respect the
+   no-past-pushes contract (the wheel clamps, the model does not, so
+   violating it would diverge by design). *)
+let agree_prop ops =
+  let w = Wheel.create () in
+  let model = ref [] in
+  let floor = ref 0 in
+  let seq = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      if !ok then
+        match op with
+        | Push b ->
+          let time = !floor + offset_of_bucket b in
+          incr seq;
+          (* k1 varies; k2 is a unique sequence so ties resolve. *)
+          let k1 = b mod 5 and k2 = !seq in
+          let d0 = (time lxor k2) land 0xFFFF and d1 = !seq * 3 in
+          Wheel.push w ~time ~k1 ~k2 ~d0 ~d1;
+          model := Model.insert { Model.time; k1; k2; d0; d1 } !model
+        | Pop -> (
+          match !model with
+          | [] -> ok := not (Wheel.min_ready w)
+          | m :: rest ->
+            if not (Wheel.min_ready w) then ok := false
+            else begin
+              ok :=
+                Wheel.min_time w = m.Model.time
+                && Wheel.min_k1 w = m.Model.k1
+                && Wheel.min_k2 w = m.Model.k2
+                && Wheel.min_d0 w = m.Model.d0
+                && Wheel.min_d1 w = m.Model.d1;
+              Wheel.pop w;
+              model := rest;
+              floor := m.Model.time
+            end))
+    ops;
+  (* Drain what's left: the tail must come out in model order too. *)
+  List.iter
+    (fun m ->
+      if !ok then
+        if not (Wheel.min_ready w) then ok := false
+        else begin
+          ok :=
+            Wheel.min_time w = m.Model.time
+            && Wheel.min_k1 w = m.Model.k1
+            && Wheel.min_k2 w = m.Model.k2;
+          Wheel.pop w
+        end)
+    !model;
+  !ok && Wheel.is_empty w
+
+let wheel_matches_model =
+  QCheck.Test.make ~name:"wheel dequeues in model order" ~count:300 arb_ops agree_prop
+
+(* A synchronized wave: many same-timestamp entries land in one 256-ns
+   slot and must come back in k2 order (the harvest heapsort path). *)
+let test_wave_slot () =
+  let w = Wheel.create () in
+  let n = 1500 in
+  for k2 = n downto 1 do
+    Wheel.push w ~time:1_000_000 ~k1:0 ~k2 ~d0:k2 ~d1:0
+  done;
+  for k2 = 1 to n do
+    Alcotest.(check bool) "ready" true (Wheel.min_ready w);
+    Alcotest.(check int) "k2 order" k2 (Wheel.min_k2 w);
+    Alcotest.(check int) "payload follows" k2 (Wheel.min_d0 w);
+    Wheel.pop w
+  done;
+  Alcotest.(check bool) "empty" true (Wheel.is_empty w)
+
+(* Push into the live run: harvest a slot, pop part of it, then push a
+   key that must fire before the run's tail. *)
+let test_push_into_live_run () =
+  let w = Wheel.create () in
+  Wheel.push w ~time:100 ~k1:0 ~k2:1 ~d0:10 ~d1:0;
+  Wheel.push w ~time:110 ~k1:0 ~k2:2 ~d0:20 ~d1:0;
+  Wheel.push w ~time:120 ~k1:0 ~k2:3 ~d0:30 ~d1:0;
+  Alcotest.(check bool) "ready" true (Wheel.min_ready w);
+  Alcotest.(check int) "first" 100 (Wheel.min_time w);
+  Wheel.pop w;
+  (* 100..120 share the 256-ns slot, so the run is live; 105 must cut
+     ahead of 110 and 120. *)
+  Wheel.push w ~time:105 ~k1:0 ~k2:9 ~d0:99 ~d1:0;
+  Alcotest.(check bool) "ready" true (Wheel.min_ready w);
+  Alcotest.(check int) "inserted fires next" 105 (Wheel.min_time w);
+  Alcotest.(check int) "inserted payload" 99 (Wheel.min_d0 w);
+  Wheel.pop w;
+  Alcotest.(check int) "then 110" 110 (Wheel.min_time w);
+  Wheel.pop w;
+  Alcotest.(check int) "then 120" 120 (Wheel.min_time w);
+  Wheel.pop w;
+  Alcotest.(check bool) "empty" true (Wheel.is_empty w)
+
+(* Far-future entries must survive two promotions (heap -> L1 -> L0)
+   intact and in order. *)
+let test_far_future_promotion () =
+  let w = Wheel.create () in
+  let times = [ 500; 1_048_576 * 70; 1_048_576 * 3; 1_048_576 * 200; 2_000 ] in
+  List.iteri (fun i time -> Wheel.push w ~time ~k1:0 ~k2:i ~d0:(time land 0xFFFFFF) ~d1:i) times;
+  let sorted = List.sort compare times in
+  List.iter
+    (fun expect ->
+      Alcotest.(check bool) "ready" true (Wheel.min_ready w);
+      Alcotest.(check int) "promotion preserves order" expect (Wheel.min_time w);
+      Alcotest.(check int) "payload intact" (expect land 0xFFFFFF) (Wheel.min_d0 w);
+      Wheel.pop w)
+    sorted;
+  Alcotest.(check bool) "empty" true (Wheel.is_empty w)
+
+let () =
+  Alcotest.run "wheel"
+    [
+      ( "ordering",
+        [
+          QCheck_alcotest.to_alcotest wheel_matches_model;
+          Alcotest.test_case "synchronized wave sorts" `Quick test_wave_slot;
+          Alcotest.test_case "push into live run" `Quick test_push_into_live_run;
+          Alcotest.test_case "far-future promotion" `Quick test_far_future_promotion;
+        ] );
+    ]
